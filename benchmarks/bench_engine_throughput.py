@@ -1,0 +1,97 @@
+"""Ablation A5 — stream-engine throughput per operator chain.
+
+Not a paper figure (the paper never measures tuple throughput of
+StreamBase itself), but a substrate sanity benchmark: tuples/second
+through each box type and through the full Example 1 chain, so engine
+regressions are visible in bench history.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.streams.sources import WeatherSource
+
+TUPLES = WeatherSource(seed=3).tuples(2_000)
+
+
+def graph_for(kind):
+    graph = QueryGraph("weather")
+    if kind == "filter":
+        graph.append(FilterOperator("rainrate > 5"))
+    elif kind == "map":
+        graph.append(MapOperator(["samplingtime", "rainrate"]))
+    elif kind == "aggregate":
+        graph.append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 5, 2),
+                [AggregationSpec.parse("rainrate:avg")],
+            )
+        )
+    elif kind == "chain":
+        graph.append(FilterOperator("rainrate > 5"))
+        graph.append(MapOperator(["samplingtime", "rainrate", "windspeed"]))
+        graph.append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 5, 2),
+                [
+                    AggregationSpec.parse("samplingtime:lastval"),
+                    AggregationSpec.parse("rainrate:avg"),
+                    AggregationSpec.parse("windspeed:max"),
+                ],
+            )
+        )
+    return graph
+
+
+@pytest.mark.parametrize("kind", ["filter", "map", "aggregate", "chain"])
+def test_operator_throughput(benchmark, kind):
+    instance = graph_for(kind).instantiate(WEATHER_SCHEMA)
+
+    def push_all():
+        for tup in TUPLES:
+            instance.process(tup)
+
+    benchmark(push_all)
+
+
+def test_engine_fanout_throughput(benchmark):
+    """One input stream feeding 20 registered continuous queries."""
+    engine = StreamEngine()
+    engine.register_input_stream("weather", WEATHER_SCHEMA)
+    for i in range(20):
+        engine.register_query(
+            QueryGraph("weather").append(FilterOperator(f"rainrate > {i}"))
+        )
+
+    def push_all():
+        for tup in TUPLES[:500]:
+            engine.push("weather", tup)
+
+    benchmark(push_all)
+
+
+def test_report_throughput_numbers(benchmark):
+    import time
+
+    def report():
+        print_header("Ablation A5 — engine throughput (tuples/s)")
+        for kind in ("filter", "map", "aggregate", "chain"):
+            instance = graph_for(kind).instantiate(WEATHER_SCHEMA)
+            started = time.perf_counter()
+            for tup in TUPLES:
+                instance.process(tup)
+            elapsed = time.perf_counter() - started
+            print(f"  {kind:>9s}: {len(TUPLES) / elapsed:>10.0f} tuples/s")
+
+    benchmark.pedantic(report, rounds=1, iterations=1)

@@ -1,0 +1,45 @@
+"""Figure 7(a) — detailed processing time of 100 AC requests (50 policies).
+
+Per-request breakdown: total response time, PDP evaluation, query-graph
+manipulation, submission to the DSMS.  Paper shape: PDP and query-graph
+times stay below 0.01 s; submission takes ~1/3 of total on average with
+much larger variance; the slow cases cluster at the start of the
+sequence (StreamBase connection establishment).
+"""
+
+from benchmarks.conftest import make_runner, print_header
+from repro.workload.report import breakdown_summary, breakdown_table
+
+
+def run_breakdown_100():
+    runner, generator = make_runner(n_requests=100, n_policies=50)
+    items = generator.generate()
+    runner.load_policies(items)
+    traces = runner.run_unique(items)
+    return runner, traces
+
+
+def test_fig7a_breakdown_100_requests(benchmark):
+    runner, traces = benchmark.pedantic(run_breakdown_100, rounds=1, iterations=1)
+    assert len(traces) == 100
+
+    print_header("Figure 7(a) — processing time breakdown, 100 requests / 50 policies")
+    print(breakdown_table(traces, sample_every=10))
+    stats = breakdown_summary(traces)
+    print()
+    print(f"  PDP mean            : {stats['pdp'].mean * 1000:.2f} ms "
+          f"(paper: < 10 ms, consistent)")
+    print(f"  QueryGraph mean     : {stats['query_graph'].mean * 1000:.2f} ms")
+    print(f"  PDP+graph < 10 ms   : {stats['pdp_graph_under_10ms']:.2f} of requests")
+    print(f"  DSMS submit share   : {stats['submit_share']:.2f} (paper: ~1/3)")
+
+    # Slow submissions cluster at the beginning (connection establishment).
+    early = max(t.dsms_submit for t in traces[:8])
+    late = max(t.dsms_submit for t in traces[20:])
+    print(f"  max submit (first 8): {early:.2f} s   max submit (rest): {late:.2f} s")
+
+    assert stats["pdp"].mean < 0.01
+    assert stats["query_graph"].mean < 0.01
+    assert stats["pdp_graph_under_10ms"] > 0.95
+    assert 0.15 < stats["submit_share"] < 0.55
+    assert early > late, "slow first connections must appear at sequence start"

@@ -1,0 +1,35 @@
+"""Section 4.2 (text) — policy loading cost.
+
+Paper: "Loading a policy onto server takes a small amount of time
+without respect to the number of policies already loaded.  The average
+loading time is 0.25 second with standard deviation of 0.06 second."
+"""
+
+from benchmarks.conftest import make_runner, print_header
+from repro.framework.metrics import summarize
+from repro.workload.report import policy_load_summary
+
+
+def test_policy_loading_flat_in_store_size(benchmark):
+    runner, generator = make_runner()
+    items = generator.generate()
+
+    load_times = benchmark.pedantic(
+        runner.load_policies, args=(items,), rounds=1, iterations=1
+    )
+    assert len(load_times) == 1000
+
+    mean, stdev = policy_load_summary(load_times)
+    print_header("Policy loading (paper: 0.25 s ± 0.06 s, flat in #policies)")
+    print(f"  measured mean  : {mean:.3f} s   (paper 0.25 s)")
+    print(f"  measured stdev : {stdev:.3f} s   (paper 0.06 s)")
+
+    first_hundred = summarize(load_times[:100]).mean
+    last_hundred = summarize(load_times[-100:]).mean
+    print(f"  first 100 loads: {first_hundred:.3f} s")
+    print(f"  last 100 loads : {last_hundred:.3f} s   (flatness check)")
+
+    assert abs(mean - 0.25) < 0.02
+    assert abs(stdev - 0.06) < 0.02
+    # Independence of store size: early and late loads look the same.
+    assert abs(first_hundred - last_hundred) < 0.05

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Accountability: auditing every access-control action (future work, §6).
+
+The paper's primary next challenge is "relaxing the trusted cloud model
+to incorporate more accountability mechanisms".  This example wraps the
+XACML+ instance in a hash-chained audit log and organises the agency's
+policies in an XACML PolicySet (organisation-wide deny-overrides around
+per-consumer permits), then shows the data owner verifying exactly what
+the cloud did — and detecting a forged log.
+
+Run with::
+
+    python examples/audited_sharing.py
+"""
+
+from repro import Request, UserQuery, stream_policy
+from repro.core import AuditedXacmlPlus, XacmlPlusInstance
+from repro.core.audit import AuditLog
+from repro.errors import AccessDeniedError, EmptyResultWarning
+from repro.streams import QueryGraph
+from repro.streams.operators import FilterOperator, MapOperator
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.xacml import PolicySet, Request as XacmlRequest
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.response import Decision, Effect
+
+
+def main():
+    instance = XacmlPlusInstance()
+    instance.engine.register_input_stream("weather", WEATHER_SCHEMA)
+    audited = AuditedXacmlPlus(instance)
+
+    # -- a PolicySet: organisation-wide deny around per-consumer permits --
+    blacklist = Policy(
+        "nea:blacklist",
+        target=Target.for_ids(subject="banned-corp"),
+        rules=[Rule("deny-banned", Effect.DENY)],
+        description="organisation-wide blacklist",
+    )
+    lta_graph = QueryGraph("weather")
+    lta_graph.append(FilterOperator("rainrate > 5"))
+    lta_graph.append(MapOperator(["samplingtime", "rainrate"]))
+    lta_policy = stream_policy("nea:weather:lta", "weather", lta_graph, subject="LTA")
+    agency_set = PolicySet(
+        "nea:policies",
+        children=[blacklist, lta_policy],
+        policy_combining="deny-overrides",
+        description="NEA's policy set for the weather stream",
+    )
+    # The PDP stores leaf policies; the set is the owner's authoring view.
+    print("=== PolicySet evaluation (authoring view) ===")
+    for subject in ("LTA", "banned-corp", "stranger"):
+        decision, leaf = agency_set.evaluate_with_policy(
+            XacmlRequest.simple(subject, "weather")
+        )
+        leaf_id = leaf.policy_id if leaf else "-"
+        print(f"  {subject:>12s}: {decision.value:<14s} (deciding policy: {leaf_id})")
+    assert agency_set.evaluate(
+        XacmlRequest.simple("banned-corp", "weather")
+    ) is Decision.DENY
+
+    for policy in agency_set.flatten():
+        if policy.rules[0].effect is Effect.PERMIT:
+            audited.load_policy(policy)
+
+    # -- a day of audited activity ------------------------------------------
+    print("\n=== Audited activity ===")
+    result = audited.request_stream(Request.simple("LTA", "weather"))
+    print(f"LTA granted {result.handle.uri}")
+    try:
+        audited.request_stream(Request.simple("stranger", "weather"))
+    except AccessDeniedError:
+        print("stranger denied")
+    try:
+        audited.request_stream(
+            Request.simple("LTA", "weather"),
+        )
+    except Exception as error:
+        print(f"LTA second concurrent request: {type(error).__name__}")
+    audited.release_stream(result.handle)
+    try:
+        audited.request_stream(
+            Request.simple("LTA", "weather"),
+            UserQuery("weather", filter_condition="rainrate < 2"),
+        )
+    except EmptyResultWarning:
+        print("LTA's conflicting refinement rejected with NR")
+    audited.remove_policy("nea:weather:lta")
+
+    # -- the data owner inspects the log ----------------------------------------
+    log = audited.log
+    print(f"\n=== Audit log: {len(log)} entries, chain valid: {log.verify_chain()} ===")
+    for entry in log:
+        extras = {k: v for k, v in entry.detail.items() if k != "streamsql"}
+        print(f"  #{entry.sequence:<2d} {entry.kind:<15s} "
+              f"subject={entry.subject or '-':<10s} {extras}")
+
+    # -- tampering is detectable --------------------------------------------------
+    exported = log.export_json()
+    forged = exported.replace('"Permit"', '"Deny"', 1)
+    reloaded = AuditLog.import_json(forged)
+    print(f"\nforged log verifies: {reloaded.verify_chain()}  "
+          f"(original: {AuditLog.import_json(exported).verify_chain()})")
+
+
+if __name__ == "__main__":
+    main()

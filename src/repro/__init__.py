@@ -1,0 +1,117 @@
+"""eXACML+: flexible fine-grained access control over data streams.
+
+A from-scratch Python reproduction of
+
+    Wang, Dinh, Lim, Datta — "Cloud and the City: Facilitating Flexible
+    Access Control over Data Streams" (2012, arXiv:1205.6349).
+
+Subsystems
+----------
+``repro.streams``
+    An Aurora-model DSMS: typed streams, filter/map/window-aggregation
+    boxes, query graphs, a StreamSQL dialect, and an engine with
+    stream-handle URIs (the StreamBase stand-in).
+``repro.expr``
+    Boolean condition toolkit: parsing, NOT-elimination, DNF, pairwise
+    satisfiability — the machinery behind filters and NR/PR analysis.
+``repro.xacml``
+    An XACML subset: policies, targets, rules, combining algorithms,
+    obligations, PDP, XML round-trip.
+``repro.core``
+    The paper's contribution: stream obligations, user queries, query-
+    graph merging, NR/PR warnings, single-access enforcement, the
+    reconstruction attack, PEP, and graph lifecycle management.
+``repro.framework``
+    The cloud deployment: data server, proxy with handle cache, client
+    interface, direct-query baseline, simulated network and metrics.
+``repro.workload``
+    The Table 3 workload generator, Zipf sequences, experiment runner
+    and report rendering.
+
+Quickstart
+----------
+>>> from repro import XacmlPlusInstance, UserQuery, stream_policy
+>>> from repro.streams import QueryGraph
+>>> from repro.streams.schema import WEATHER_SCHEMA
+>>> from repro.streams.operators import FilterOperator
+>>> from repro.xacml import Request
+>>> instance = XacmlPlusInstance()
+>>> _ = instance.engine.register_input_stream("weather", WEATHER_SCHEMA)
+>>> graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+>>> _ = instance.load_policy(stream_policy("p1", "weather", graph, subject="LTA"))
+>>> result = instance.request_stream(Request.simple("LTA", "weather"))
+>>> result.handle.uri.startswith("stream://")
+True
+"""
+
+from repro.errors import (
+    AccessControlError,
+    AccessDeniedError,
+    ConcurrentAccessError,
+    EmptyResultWarning,
+    MergeError,
+    PartialResultWarning,
+    ReproError,
+    StreamError,
+    WindowRefinementError,
+    XacmlError,
+)
+from repro.core import (
+    AccessRegistry,
+    MergeOptions,
+    MergeResult,
+    MultiWindowAttack,
+    PepResult,
+    PolicyEnforcementPoint,
+    QueryGraphManager,
+    UserQuery,
+    XacmlPlusInstance,
+    merge_query_graphs,
+    check_query_against_policy,
+    graph_to_obligations,
+    obligations_to_graph,
+    reconstruct_from_windows,
+    stream_policy,
+)
+from repro.streams import QueryGraph, StreamEngine, StreamHandle
+from repro.xacml import PolicyDecisionPoint, PolicyStore, Request
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "StreamError",
+    "XacmlError",
+    "AccessControlError",
+    "AccessDeniedError",
+    "ConcurrentAccessError",
+    "EmptyResultWarning",
+    "PartialResultWarning",
+    "MergeError",
+    "WindowRefinementError",
+    # core
+    "AccessRegistry",
+    "MergeOptions",
+    "MergeResult",
+    "MultiWindowAttack",
+    "PepResult",
+    "PolicyEnforcementPoint",
+    "QueryGraphManager",
+    "UserQuery",
+    "XacmlPlusInstance",
+    "merge_query_graphs",
+    "check_query_against_policy",
+    "graph_to_obligations",
+    "obligations_to_graph",
+    "reconstruct_from_windows",
+    "stream_policy",
+    # substrates
+    "QueryGraph",
+    "StreamEngine",
+    "StreamHandle",
+    "PolicyDecisionPoint",
+    "PolicyStore",
+    "Request",
+]

@@ -1,0 +1,64 @@
+"""eXACML+ core: fine-grained access control for continuous queries.
+
+This package is the paper's primary contribution:
+
+- :mod:`repro.core.obligations` — the stream-obligation vocabulary
+  (Table 1 / Figure 2) and the obligations ⇄ query-graph translation,
+- :mod:`repro.core.user_query` — customised user queries (Figure 4(a)),
+- :mod:`repro.core.merge` — the Section 3.1 query-graph merge rules,
+- :mod:`repro.core.warnings_check` — NR/PR detection (Section 3.5),
+- :mod:`repro.core.access_registry` — the Section 3.4 single-access guard,
+- :mod:`repro.core.attack` — the multi-window reconstruction attack the
+  guard defends against,
+- :mod:`repro.core.pep` — the Policy Enforcement Point workflow
+  (Section 3.2),
+- :mod:`repro.core.graph_manager` — query-graph lifecycle management and
+  revocation on policy change (Section 3.3),
+- :mod:`repro.core.xacml_plus` — the assembled XACML+ instance
+  (Figure 3(b)).
+"""
+
+from repro.core.obligations import (
+    graph_to_obligations,
+    obligations_to_graph,
+    stream_policy,
+)
+from repro.core.user_query import UserQuery
+from repro.core.merge import MergeOptions, MergeResult, merge_query_graphs
+from repro.core.warnings_check import (
+    WarningReport,
+    check_filter_merge,
+    check_aggregate_merge,
+    check_map_merge,
+    check_query_against_policy,
+)
+from repro.core.access_registry import AccessRegistry
+from repro.core.pep import PepResult, PolicyEnforcementPoint
+from repro.core.graph_manager import QueryGraphManager
+from repro.core.xacml_plus import XacmlPlusInstance
+from repro.core.attack import MultiWindowAttack, reconstruct_from_windows
+from repro.core.audit import AuditedXacmlPlus, AuditLog
+
+__all__ = [
+    "graph_to_obligations",
+    "obligations_to_graph",
+    "stream_policy",
+    "UserQuery",
+    "MergeOptions",
+    "MergeResult",
+    "merge_query_graphs",
+    "WarningReport",
+    "check_filter_merge",
+    "check_aggregate_merge",
+    "check_map_merge",
+    "check_query_against_policy",
+    "AccessRegistry",
+    "PepResult",
+    "PolicyEnforcementPoint",
+    "QueryGraphManager",
+    "XacmlPlusInstance",
+    "MultiWindowAttack",
+    "reconstruct_from_windows",
+    "AuditedXacmlPlus",
+    "AuditLog",
+]

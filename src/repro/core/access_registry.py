@@ -1,0 +1,69 @@
+"""The single-access constraint (Section 3.4).
+
+"Only a single access is permitted on a particular data stream for one
+user at any time" — otherwise a user holding several aggregation windows
+with different sizes over the same stream can difference the aggregate
+streams and reconstruct the raw data (see :mod:`repro.core.attack`).
+
+The registry tracks live (subject, stream) → handle bindings.  The PEP
+consults it in step 3 of its workflow; the query-graph manager releases
+bindings when graphs are withdrawn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConcurrentAccessError
+from repro.streams.handles import StreamHandle
+
+
+class AccessRegistry:
+    """Tracks which subject currently holds a query on which stream."""
+
+    def __init__(self, enforce: bool = True):
+        #: Enforcement switch — disabling it reproduces the vulnerable
+        #: configuration the Section 3.4 attack exploits.  Only examples
+        #: and tests should ever turn this off.
+        self.enforce = enforce
+        self._active: Dict[Tuple[str, str], StreamHandle] = {}
+
+    @staticmethod
+    def _key(subject: str, stream: str) -> Tuple[str, str]:
+        return (subject, stream.lower())
+
+    def acquire(self, subject: str, stream: str, handle: StreamHandle) -> None:
+        """Bind (subject, stream) to *handle*.
+
+        Raises :class:`ConcurrentAccessError` when the subject already
+        holds a live query on the stream and enforcement is on.
+        """
+        key = self._key(subject, stream)
+        if self.enforce and key in self._active:
+            raise ConcurrentAccessError(subject, stream)
+        self._active[key] = handle
+
+    def check(self, subject: str, stream: str) -> None:
+        """Step-3 check only (no binding)."""
+        if self.enforce and self._key(subject, stream) in self._active:
+            raise ConcurrentAccessError(subject, stream)
+
+    def release(self, subject: str, stream: str) -> Optional[StreamHandle]:
+        """Release the binding; returns the handle that was bound, if any."""
+        return self._active.pop(self._key(subject, stream), None)
+
+    def release_handle(self, handle: StreamHandle) -> List[Tuple[str, str]]:
+        """Release every binding pointing at *handle* (revocation path)."""
+        keys = [key for key, bound in self._active.items() if bound == handle]
+        for key in keys:
+            del self._active[key]
+        return keys
+
+    def holder(self, subject: str, stream: str) -> Optional[StreamHandle]:
+        return self._active.get(self._key(subject, stream))
+
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def __repr__(self) -> str:
+        return f"AccessRegistry(active={len(self._active)}, enforce={self.enforce})"

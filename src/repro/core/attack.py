@@ -1,0 +1,173 @@
+"""The multi-window reconstruction attack (Section 3.4).
+
+The paper justifies the single-access constraint with an attack: a user
+granted *sum* aggregation windows of sizes ``N, N+1, ..., N+M`` (all with
+advance step ``M``) over the same stream can difference consecutive
+aggregate streams and interleave the results to recover every raw tuple
+from ``a_N`` onwards.
+
+With three windows of sizes 3, 4, 5 and step 2 (the paper's Example 2)::
+
+    S1 = (a0+a1+a2), (a2+a3+a4), (a4+a5+a6), ...
+    S2 = (a0+..+a3), (a2+..+a5), (a4+..+a7), ...
+    S3 = (a0+..+a4), (a2+..+a6), (a4+..+a8), ...
+    S2-S1 = a3, a5, a7, ...      S3-S2 = a4, a6, a8, ...
+
+interleaved: ``a3, a4, a5, a6, ...`` — the raw stream minus its first
+three tuples.
+
+:func:`reconstruct_from_windows` implements the pure arithmetic;
+:class:`MultiWindowAttack` drives it end-to-end against an
+:class:`~repro.core.xacml_plus.XacmlPlusInstance`, demonstrating both the
+leak (single-access enforcement off) and the defence (enforcement on →
+:class:`~repro.errors.ConcurrentAccessError` on the second request).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConcurrentAccessError, ReproError
+from repro.core.obligations import stream_policy
+from repro.core.user_query import UserQuery
+from repro.core.xacml_plus import XacmlPlusInstance
+from repro.streams.graph import QueryGraph
+from repro.streams.operators.window import (
+    AggregateOperator,
+    AggregationSpec,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import DataType, Field, Schema
+from repro.xacml.request import Request
+
+
+def reconstruct_from_windows(
+    aggregate_streams: Sequence[Sequence[float]],
+    base_size: int,
+    step: int,
+) -> Dict[int, float]:
+    """Recover raw tuples from sum-window outputs of sizes N, N+1, ..., N+M.
+
+    *aggregate_streams* must be ordered by window size (``N`` first) and
+    all share advance step *step* = M; there must be exactly M+1 of them.
+    Returns ``{stream_index: value}`` for every recoverable position —
+    every index from ``base_size`` up to the data horizon.
+
+    The arithmetic: with ``S_i`` the stream for window size ``N+i``,
+    ``T_i[k] = S_i[k] - S_{i-1}[k] = a[N + k·M + (i-1)]``.
+    """
+    if len(aggregate_streams) != step + 1:
+        raise ReproError(
+            f"need exactly step+1 = {step + 1} aggregate streams (sizes "
+            f"N..N+M), got {len(aggregate_streams)}"
+        )
+    recovered: Dict[int, float] = {}
+    for i in range(1, len(aggregate_streams)):
+        finer = aggregate_streams[i - 1]
+        coarser = aggregate_streams[i]
+        usable = min(len(finer), len(coarser))
+        for k in range(usable):
+            index = base_size + k * step + (i - 1)
+            recovered[index] = coarser[k] - finer[k]
+    return recovered
+
+
+#: Schema used by the attack demo (the paper's single-attribute stream S).
+ATTACK_SCHEMA = Schema("s", [Field("a", DataType.INT)])
+
+
+class MultiWindowAttack:
+    """End-to-end Section 3.4 attack against an XACML+ instance.
+
+    The instance must serve a stream whose policy permits sum-window
+    aggregation with window ``(size=base_size, step=step)`` on attribute
+    *attribute*.  :meth:`run` issues ``step+1`` concurrent requests with
+    window sizes ``base_size .. base_size+step`` and differences the
+    outputs.
+    """
+
+    def __init__(
+        self,
+        instance: XacmlPlusInstance,
+        stream_name: str = "s",
+        attribute: str = "a",
+        subject: str = "attacker",
+        base_size: int = 3,
+        step: int = 2,
+    ):
+        self.instance = instance
+        self.stream_name = stream_name
+        self.attribute = attribute
+        self.subject = subject
+        self.base_size = base_size
+        self.step = step
+
+    @classmethod
+    def build_victim_instance(
+        cls,
+        enforce_single_access: bool,
+        base_size: int = 3,
+        step: int = 2,
+        stream_name: str = "s",
+        attribute: str = "a",
+    ) -> XacmlPlusInstance:
+        """Set up a data server with the Example 2 policy loaded."""
+        instance = XacmlPlusInstance(enforce_single_access=enforce_single_access)
+        schema = Schema(stream_name, [Field(attribute, DataType.INT)])
+        instance.engine.register_input_stream(stream_name, schema)
+        policy_graph = QueryGraph(stream_name).append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, base_size, step),
+                [AggregationSpec.parse(f"{attribute}:sum")],
+            )
+        )
+        instance.load_policy(
+            stream_policy(
+                f"policy:{stream_name}",
+                stream_name,
+                policy_graph,
+                description="Example 2 policy: sum windows only",
+            )
+        )
+        return instance
+
+    def _window_request(self, size: int):
+        request = Request.simple(self.subject, self.stream_name)
+        user_query = UserQuery(
+            self.stream_name,
+            window=WindowSpec(WindowType.TUPLE, size, self.step),
+            aggregations=[f"{self.attribute}:sum"],
+        )
+        return self.instance.request_stream(request, user_query)
+
+    def run(self, values: Sequence[int]) -> Dict[int, float]:
+        """Execute the attack over *values*; return recovered tuples.
+
+        Raises :class:`ConcurrentAccessError` when the instance enforces
+        the single-access constraint — the defended configuration.
+        """
+        handles = []
+        for extra in range(self.step + 1):
+            result = self._window_request(self.base_size + extra)
+            handles.append(result.handle)
+        for value in values:
+            self.instance.engine.push(self.stream_name, {self.attribute: value})
+        aggregate_streams: List[List[float]] = []
+        for handle in handles:
+            output = self.instance.engine.read(handle)
+            aggregate_streams.append(
+                [tup[f"sum{self.attribute}"] for tup in output]
+            )
+        return reconstruct_from_windows(aggregate_streams, self.base_size, self.step)
+
+    def is_blocked(self) -> bool:
+        """True when the defence stops the second concurrent request."""
+        first = self._window_request(self.base_size)
+        try:
+            self._window_request(self.base_size + 1)
+        except ConcurrentAccessError:
+            return True
+        finally:
+            self.instance.release_stream(first.handle)
+        return False

@@ -1,0 +1,236 @@
+"""Accountability: an append-only audit log of access-control events.
+
+The paper's conclusion names "relaxing the trusted cloud model to
+incorporate more accountability mechanisms" as its primary next
+challenge.  This module implements the first building block: a tamper-
+evident (hash-chained) audit log that records every decision and
+enforcement action, so a data owner can later verify what the cloud did
+with their policies.
+
+Events recorded (``kind``):
+
+- ``policy-loaded`` / ``policy-updated`` / ``policy-removed``
+- ``decision`` — every PDP evaluation (decision, policy id, subject,
+  resource)
+- ``grant`` — a handle issued (with the StreamSQL actually submitted)
+- ``warning`` — an NR/PR rejection
+- ``revocation`` — a query graph withdrawn because its policy changed
+- ``release`` — a user-initiated handle release
+
+Each entry carries the SHA-256 of its predecessor, making retroactive
+tampering detectable with :meth:`AuditLog.verify_chain`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional
+
+#: Hash of the (non-existent) entry before the first one.
+GENESIS = "0" * 64
+
+
+class AuditEntry(NamedTuple):
+    """One immutable audit record."""
+
+    sequence: int
+    kind: str
+    subject: Optional[str]
+    resource: Optional[str]
+    detail: Dict[str, object]
+    previous_hash: str
+    entry_hash: str
+
+    def payload(self) -> str:
+        """The canonical JSON the entry hash covers."""
+        return json.dumps(
+            {
+                "sequence": self.sequence,
+                "kind": self.kind,
+                "subject": self.subject,
+                "resource": self.resource,
+                "detail": self.detail,
+                "previous_hash": self.previous_hash,
+            },
+            sort_keys=True,
+        )
+
+
+def _hash_payload(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class AuditLog:
+    """An append-only, hash-chained sequence of audit entries."""
+
+    def __init__(self):
+        self._entries: List[AuditEntry] = []
+        self._counter = itertools.count(1)
+
+    # -- recording --------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        subject: Optional[str] = None,
+        resource: Optional[str] = None,
+        **detail,
+    ) -> AuditEntry:
+        """Append one event; returns the sealed entry."""
+        previous_hash = self._entries[-1].entry_hash if self._entries else GENESIS
+        provisional = AuditEntry(
+            sequence=next(self._counter),
+            kind=kind,
+            subject=subject,
+            resource=resource,
+            detail=dict(detail),
+            previous_hash=previous_hash,
+            entry_hash="",
+        )
+        sealed = provisional._replace(entry_hash=_hash_payload(provisional.payload()))
+        self._entries.append(sealed)
+        return sealed
+
+    # -- querying ----------------------------------------------------------------
+
+    def entries(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        resource: Optional[str] = None,
+    ) -> List[AuditEntry]:
+        """Entries filtered by any combination of kind/subject/resource."""
+        result = []
+        for entry in self._entries:
+            if kind is not None and entry.kind != kind:
+                continue
+            if subject is not None and entry.subject != subject:
+                continue
+            if resource is not None and entry.resource != resource:
+                continue
+            result.append(entry)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self._entries)
+
+    # -- accountability -------------------------------------------------------------
+
+    def verify_chain(self) -> bool:
+        """True when no entry has been altered, removed or reordered."""
+        previous_hash = GENESIS
+        for expected_sequence, entry in enumerate(self._entries, start=1):
+            if entry.sequence != expected_sequence:
+                return False
+            if entry.previous_hash != previous_hash:
+                return False
+            if _hash_payload(entry.payload()) != entry.entry_hash:
+                return False
+            previous_hash = entry.entry_hash
+        return True
+
+    def export_json(self) -> str:
+        """Serialise the full log (for the data owner's offline audit)."""
+        return json.dumps([entry._asdict() for entry in self._entries], indent=2)
+
+    @classmethod
+    def import_json(cls, text: str) -> "AuditLog":
+        """Load an exported log; callers should :meth:`verify_chain` it."""
+        log = cls()
+        entries = [AuditEntry(**record) for record in json.loads(text)]
+        log._entries = entries
+        log._counter = itertools.count(len(entries) + 1)
+        return log
+
+
+class AuditedXacmlPlus:
+    """Wrap an :class:`~repro.core.xacml_plus.XacmlPlusInstance` with auditing.
+
+    Every policy-management call, every decision and every enforcement
+    outcome lands in the :class:`AuditLog`.  The wrapper is deliberately
+    thin — the audited instance is used exactly like a bare one.
+    """
+
+    def __init__(self, instance, log: Optional[AuditLog] = None):
+        self.instance = instance
+        self.log = log if log is not None else AuditLog()
+        instance.store.add_listener(self._on_policy_event)
+
+    def _on_policy_event(self, event: str, policy) -> None:
+        self.log.record(f"policy-{event}", resource=None, policy_id=policy.policy_id)
+
+    # -- audited operations ---------------------------------------------------------
+
+    def load_policy(self, policy):
+        return self.instance.load_policy(policy)
+
+    def update_policy(self, policy):
+        before = {
+            spawned.handle.uri
+            for spawned in self.instance.graph_manager.spawned_by(
+                policy.policy_id if hasattr(policy, "policy_id") else ""
+            )
+        }
+        result = self.instance.update_policy(policy)
+        for uri in before:
+            self.log.record("revocation", detail_handle=uri,
+                            policy_id=result.policy_id)
+        return result
+
+    def remove_policy(self, policy_id: str):
+        revoked = [
+            spawned.handle.uri
+            for spawned in self.instance.graph_manager.spawned_by(policy_id)
+        ]
+        self.instance.remove_policy(policy_id)
+        for uri in revoked:
+            self.log.record("revocation", detail_handle=uri, policy_id=policy_id)
+
+    def request_stream(self, request, user_query=None):
+        from repro.errors import (
+            AccessDeniedError,
+            ConcurrentAccessError,
+            EmptyResultWarning,
+            PartialResultWarning,
+        )
+
+        subject = request.subject_id if hasattr(request, "subject_id") else None
+        resource = request.resource_id if hasattr(request, "resource_id") else None
+        try:
+            result = self.instance.request_stream(request, user_query)
+        except AccessDeniedError as error:
+            self.log.record(
+                "decision", subject, resource,
+                decision=error.decision.value,
+            )
+            raise
+        except ConcurrentAccessError:
+            self.log.record("warning", subject, resource, warning_kind="concurrent-access")
+            raise
+        except EmptyResultWarning:
+            self.log.record("warning", subject, resource, warning_kind="NR")
+            raise
+        except PartialResultWarning:
+            self.log.record("warning", subject, resource, warning_kind="PR")
+            raise
+        self.log.record(
+            "decision", subject, resource,
+            decision="Permit", policy_id=result.response.policy_id,
+        )
+        self.log.record(
+            "grant", subject, resource,
+            handle=result.handle.uri, streamsql=result.streamsql,
+        )
+        return result
+
+    def release_stream(self, handle) -> None:
+        self.instance.release_stream(handle)
+        self.log.record("release", detail_handle=handle.uri)
+
+    def __getattr__(self, name):
+        return getattr(self.instance, name)

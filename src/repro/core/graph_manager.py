@@ -1,0 +1,99 @@
+"""Query-graph lifecycle management (Section 3.3).
+
+With bounded data, access ends when the query result is returned; with
+streams the user holds a *handle* to a standing query, so "if the data
+stream owner for some reason has removed or modified the policy ... the
+user may still [be] connected to the data stream though he is not
+supposed to be able to access [it] any longer".
+
+The manager keeps the policy-id → spawned-query-graphs index and, "whenever
+a policy has been removed or modified by user, all query graphs that are
+spawned by the policy are immediately withdrawn from back-end data stream
+engines".  It subscribes to :class:`~repro.xacml.store.PolicyStore`
+change events so revocation is automatic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.core.access_registry import AccessRegistry
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.handles import StreamHandle
+from repro.xacml.policy import Policy
+from repro.xacml.store import PolicyStore
+
+
+class SpawnedGraph(NamedTuple):
+    """Book-keeping record for one registered query graph."""
+
+    handle: StreamHandle
+    policy_id: str
+    subject: str
+    stream: str
+    graph: QueryGraph
+
+
+class QueryGraphManager:
+    """Tracks spawned graphs and revokes them on policy change."""
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        store: PolicyStore,
+        access_registry: Optional[AccessRegistry] = None,
+    ):
+        self._engine = engine
+        self._registry = access_registry
+        self._by_policy: Dict[str, List[SpawnedGraph]] = {}
+        self._by_handle: Dict[str, SpawnedGraph] = {}
+        #: Total graphs withdrawn due to policy changes (for monitoring).
+        self.revocations = 0
+        store.add_listener(self._on_policy_event)
+
+    # -- registration -----------------------------------------------------------
+
+    def record(
+        self,
+        handle: StreamHandle,
+        policy_id: str,
+        subject: str,
+        stream: str,
+        graph: QueryGraph,
+    ) -> SpawnedGraph:
+        spawned = SpawnedGraph(handle, policy_id, subject, stream, graph)
+        self._by_policy.setdefault(policy_id, []).append(spawned)
+        self._by_handle[handle.uri] = spawned
+        return spawned
+
+    def spawned_by(self, policy_id: str) -> List[SpawnedGraph]:
+        return list(self._by_policy.get(policy_id, []))
+
+    def for_handle(self, handle: StreamHandle) -> Optional[SpawnedGraph]:
+        return self._by_handle.get(handle.uri)
+
+    def active_count(self) -> int:
+        return len(self._by_handle)
+
+    # -- withdrawal ---------------------------------------------------------------
+
+    def withdraw(self, handle: StreamHandle) -> None:
+        """Withdraw one query (user-initiated release)."""
+        spawned = self._by_handle.pop(handle.uri, None)
+        if spawned is None:
+            return
+        self._by_policy.get(spawned.policy_id, []).remove(spawned)
+        self._engine.withdraw(handle)
+        if self._registry is not None:
+            self._registry.release(spawned.subject, spawned.stream)
+
+    def _on_policy_event(self, event: str, policy: Policy) -> None:
+        if event not in ("removed", "updated"):
+            return
+        for spawned in self._by_policy.pop(policy.policy_id, []):
+            del self._by_handle[spawned.handle.uri]
+            self._engine.withdraw(spawned.handle)
+            if self._registry is not None:
+                self._registry.release(spawned.subject, spawned.stream)
+            self.revocations += 1

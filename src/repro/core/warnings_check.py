@@ -1,0 +1,264 @@
+"""NR/PR detection: empty and partial result-set warnings (Section 3.5).
+
+When the PEP merges the policy's query graph with the user's customised
+query, conflicts between the two can silently shrink the user's result:
+
+- **PR (Partial Result)** — "some tuples in the requested stream may not
+  be returned to the user due to conflict between the user query and some
+  policies enforced on the streams";
+- **NR (Empty Result)** — "none of the tuples in the request stream will
+  be returned ... This must be differed from the case where the user does
+  not have access to the stream."
+
+Detection is per-operator, exactly as the paper describes:
+
+*Map*: NR when the attribute sets are disjoint; PR when they differ.
+
+*Aggregation*: six ordered rules (window size, advance step, type,
+function conflicts, matching pairs, everything else).
+
+*Filter*: ``P = C_policy AND C_user`` → NOT elimination (Table 2) →
+postfix → DNF → pairwise ``checkTwoSimpleExpression`` inside every
+conjunction; aggregate per Step 3.  Cost is ``O(k·n²)`` for ``k``
+conjunctions of at most ``n`` literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.expr.ast import BooleanExpression, SimpleExpression, TrueExpression
+from repro.expr.normalize import to_dnf
+from repro.expr.satisfiability import (
+    PairVerdict,
+    conjunction_verdict,
+    dnf_verdict,
+)
+from repro.streams.graph import QueryGraph
+from repro.streams.operators.filter import FilterOperator
+from repro.streams.operators.map import MapOperator
+from repro.streams.operators.window import AggregateOperator
+
+
+class WarningReport(NamedTuple):
+    """One NR/PR finding: which operator pair produced which verdict."""
+
+    operator: str          # "filter" | "map" | "aggregate"
+    verdict: PairVerdict
+    detail: str
+
+    @property
+    def is_nr(self) -> bool:
+        return self.verdict is PairVerdict.NR
+
+    @property
+    def is_pr(self) -> bool:
+        return self.verdict is PairVerdict.PR
+
+
+# ---------------------------------------------------------------------------
+# Map operator (Section 3.5, "Map Operator")
+# ---------------------------------------------------------------------------
+
+def check_map_merge(
+    policy_map: Optional[MapOperator], user_map: Optional[MapOperator]
+) -> Optional[WarningReport]:
+    """NR when S1 ∩ S2 = ∅; PR when S1 ≠ S2; nothing otherwise.
+
+    A missing operator on either side means that side projects nothing
+    away, so only the both-present case can conflict.  When only the
+    policy projects, the user implicitly asked for the full schema and a
+    PR warning is appropriate — the user query's expectations include
+    attributes the policy withholds.
+    """
+    if user_map is None and policy_map is None:
+        return None
+    if user_map is None:
+        return WarningReport(
+            "map",
+            PairVerdict.PR,
+            f"policy restricts attributes to {sorted(policy_map.attribute_set())}; "
+            f"the full schema will not be returned",
+        )
+    if policy_map is None:
+        return None  # the user narrows the stream voluntarily
+    policy_set = policy_map.attribute_set()
+    user_set = user_map.attribute_set()
+    if not (policy_set & user_set):
+        return WarningReport(
+            "map",
+            PairVerdict.NR,
+            f"no overlap between policy attributes {sorted(policy_set)} and "
+            f"user attributes {sorted(user_set)}",
+        )
+    if policy_set != user_set:
+        missing = sorted(user_set - policy_set)
+        detail = (
+            f"user attributes {missing} are withheld by policy"
+            if missing
+            else f"policy exposes only {sorted(policy_set & user_set)}"
+        )
+        return WarningReport("map", PairVerdict.PR, detail)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Aggregate operator (Section 3.5, "Aggregate Operator", rules 1–6)
+# ---------------------------------------------------------------------------
+
+def check_aggregate_merge(
+    policy_aggregate: Optional[AggregateOperator],
+    user_aggregate: Optional[AggregateOperator],
+) -> Optional[WarningReport]:
+    """Apply the paper's six aggregation rules in order."""
+    if policy_aggregate is None or user_aggregate is None:
+        if policy_aggregate is not None and user_aggregate is None:
+            # The user asked for raw tuples but will receive aggregates.
+            return WarningReport(
+                "aggregate",
+                PairVerdict.PR,
+                "policy aggregates the stream; raw tuples will not be returned",
+            )
+        return None
+    a1, a2 = policy_aggregate, user_aggregate
+    # Rule 1: policy window larger than requested → windows can never fit.
+    if a1.window.size > a2.window.size:
+        return WarningReport(
+            "aggregate",
+            PairVerdict.NR,
+            f"policy window size {a1.window.size} exceeds user window size "
+            f"{a2.window.size}",
+        )
+    # Rule 2: policy advances faster than the user's step allows.
+    if a1.window.step > a2.window.step:
+        return WarningReport(
+            "aggregate",
+            PairVerdict.NR,
+            f"policy advance step {a1.window.step} exceeds user step {a2.window.step}",
+        )
+    # Rule 3: incompatible window types.
+    if a1.window.window_type is not a2.window.window_type:
+        return WarningReport(
+            "aggregate",
+            PairVerdict.NR,
+            f"window types differ: policy {a1.window.window_type.value}, "
+            f"user {a2.window.window_type.value}",
+        )
+    # Rule 4: same attribute aggregated with different functions → that
+    # request can never be satisfied.
+    policy_by_attr = {}
+    for spec in a1.aggregations:
+        policy_by_attr.setdefault(spec.attribute, set()).add(spec.function.name)
+    conflicts = []
+    matches = 0
+    extras = []
+    for spec in a2.aggregations:
+        allowed = policy_by_attr.get(spec.attribute)
+        if allowed is None:
+            extras.append(spec.to_call_syntax())
+        elif spec.function.name in allowed:
+            matches += 1  # Rule 5: exact (attribute, function) match
+        else:
+            conflicts.append(spec.to_call_syntax())
+    if conflicts and matches == 0 and not extras:
+        return WarningReport(
+            "aggregate",
+            PairVerdict.NR,
+            f"every requested aggregation conflicts with policy functions: "
+            f"{conflicts}",
+        )
+    if conflicts or extras:
+        # Rule 6: anything not covered by rule 5.
+        details = []
+        if conflicts:
+            details.append(f"function conflicts: {conflicts}")
+        if extras:
+            details.append(f"attributes not aggregatable under policy: {extras}")
+        return WarningReport("aggregate", PairVerdict.PR, "; ".join(details))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Filter operator (Section 3.5, Steps 1–3)
+# ---------------------------------------------------------------------------
+
+def check_filter_merge(
+    policy_filter: Optional[FilterOperator],
+    user_filter: Optional[FilterOperator],
+) -> Optional[WarningReport]:
+    """The three-step filter procedure of Section 3.5.
+
+    Literals are tagged with their origin so a PR verdict can only arise
+    from policy-vs-user constraint pairs, while any contradictory pair —
+    including two literals from the same condition — still yields NR for
+    its conjunction.
+    """
+    policy_condition = policy_filter.condition if policy_filter else TrueExpression()
+    user_condition = user_filter.condition if user_filter else TrueExpression()
+    verdict, conjunction_count = _filter_verdict(policy_condition, user_condition)
+    if verdict is PairVerdict.NR:
+        return WarningReport(
+            "filter",
+            PairVerdict.NR,
+            f"policy condition "
+            f"{policy_condition.to_condition_string()!r} contradicts user "
+            f"condition {user_condition.to_condition_string()!r} in every "
+            f"of the {conjunction_count} DNF conjunction(s)",
+        )
+    if verdict is PairVerdict.PR:
+        return WarningReport(
+            "filter",
+            PairVerdict.PR,
+            f"policy condition {policy_condition.to_condition_string()!r} "
+            f"may withhold tuples matching user condition "
+            f"{user_condition.to_condition_string()!r}",
+        )
+    return None
+
+
+def _filter_verdict(
+    policy_condition: BooleanExpression, user_condition: BooleanExpression
+) -> Tuple[PairVerdict, int]:
+    """Steps 1–3 on origin-tagged DNF conjunctions."""
+    policy_dnf = to_dnf(policy_condition)
+    user_dnf = to_dnf(user_condition)
+    # Distribute (policy ∨ ...) AND (user ∨ ...) while tracking origins.
+    tagged_conjunctions: List[List[Tuple[SimpleExpression, str]]] = []
+    for policy_conjunction in policy_dnf:
+        for user_conjunction in user_dnf:
+            tagged: List[Tuple[SimpleExpression, str]] = [
+                (literal, "policy") for literal in policy_conjunction
+            ]
+            tagged.extend((literal, "user") for literal in user_conjunction)
+            tagged_conjunctions.append(tagged)
+    verdicts = [conjunction_verdict(tagged) for tagged in tagged_conjunctions]
+    return dnf_verdict(verdicts), len(tagged_conjunctions)
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph check
+# ---------------------------------------------------------------------------
+
+def check_query_against_policy(
+    policy_graph: QueryGraph, user_graph: QueryGraph
+) -> List[WarningReport]:
+    """Run all three per-operator checks; return every finding.
+
+    An empty list means the merged query will faithfully produce what the
+    user asked for (no NR, no PR).
+    """
+    reports: List[WarningReport] = []
+    map_report = check_map_merge(policy_graph.map_operator, user_graph.map_operator)
+    if map_report is not None:
+        reports.append(map_report)
+    aggregate_report = check_aggregate_merge(
+        policy_graph.aggregate_operator, user_graph.aggregate_operator
+    )
+    if aggregate_report is not None:
+        reports.append(aggregate_report)
+    filter_report = check_filter_merge(
+        policy_graph.filter_operator, user_graph.filter_operator
+    )
+    if filter_report is not None:
+        reports.append(filter_report)
+    return reports

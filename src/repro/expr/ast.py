@@ -1,0 +1,271 @@
+"""AST for filter conditions (the paper's simple/complex expressions).
+
+Section 3.5 defines:
+
+- a *simple expression* ``x op v`` where ``x`` is an attribute name,
+  ``op ∈ {<, >, >=, <=, =, !=}``, and ``v`` is a number (or a string, only
+  when op is ``=`` or ``!=``);
+- a *complex expression*: simple expressions connected by NOT, AND, OR.
+
+The AST nodes here are immutable and hashable so they can be deduplicated
+inside conjunctions and used as dict keys by the satisfiability checker.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Tuple, Union
+
+from repro.errors import ExpressionError, ExpressionTypeError
+
+Value = Union[int, float, str]
+
+
+class Operator(enum.Enum):
+    """Comparison operators of simple expressions."""
+
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    NE = "!="
+
+    @property
+    def negated(self) -> "Operator":
+        """The operator produced by eliminating NOT (paper's Table 2)."""
+        return _NEGATIONS[self]
+
+    @property
+    def is_equality(self) -> bool:
+        return self in (Operator.EQ, Operator.NE)
+
+    def apply(self, left, right) -> bool:
+        """Evaluate ``left op right``."""
+        if self is Operator.LT:
+            return left < right
+        if self is Operator.GT:
+            return left > right
+        if self is Operator.LE:
+            return left <= right
+        if self is Operator.GE:
+            return left >= right
+        if self is Operator.EQ:
+            return left == right
+        return left != right
+
+    @classmethod
+    def parse(cls, text: str) -> "Operator":
+        aliases = {
+            "<": cls.LT, ">": cls.GT, "<=": cls.LE, ">=": cls.GE,
+            "=": cls.EQ, "==": cls.EQ, "!=": cls.NE, "<>": cls.NE,
+        }
+        if text not in aliases:
+            raise ExpressionError(f"unknown comparison operator {text!r}")
+        return aliases[text]
+
+
+#: Table 2 of the paper: rules to convert NOT(x op v) into x op' v.
+_NEGATIONS = {
+    Operator.GT: Operator.LE,
+    Operator.LT: Operator.GE,
+    Operator.GE: Operator.LT,
+    Operator.LE: Operator.GT,
+    Operator.EQ: Operator.NE,
+    Operator.NE: Operator.EQ,
+}
+
+
+class BooleanExpression:
+    """Base class for all condition AST nodes."""
+
+    def attributes(self) -> FrozenSet[str]:
+        """The set of attribute names (lower-cased) referenced."""
+        raise NotImplementedError
+
+    def to_condition_string(self) -> str:
+        """Render this expression back to StreamSQL condition syntax."""
+        raise NotImplementedError
+
+    def __and__(self, other: "BooleanExpression") -> "BooleanExpression":
+        return AndExpression((self, other))
+
+    def __or__(self, other: "BooleanExpression") -> "BooleanExpression":
+        return OrExpression((self, other))
+
+    def __invert__(self) -> "BooleanExpression":
+        return NotExpression(self)
+
+
+class TrueExpression(BooleanExpression):
+    """The always-true condition (a filter that passes everything).
+
+    Used as the identity element when merging filter conditions, so a
+    graph with no policy filter merges cleanly with a user filter.
+    """
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_condition_string(self) -> str:
+        return "TRUE"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TrueExpression)
+
+    def __hash__(self) -> int:
+        return hash("TRUE")
+
+    def __repr__(self) -> str:
+        return "TrueExpression()"
+
+
+class SimpleExpression(BooleanExpression):
+    """A leaf comparison ``attribute op value``."""
+
+    __slots__ = ("attribute", "op", "value")
+
+    def __init__(self, attribute: str, op: Operator, value: Value):
+        if not attribute:
+            raise ExpressionError("simple expression needs an attribute name")
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            raise ExpressionTypeError(
+                f"simple-expression value must be a number or string, got {value!r}"
+            )
+        if isinstance(value, str) and not op.is_equality:
+            raise ExpressionTypeError(
+                f"string value {value!r} only allowed with = or !=, not {op.value}"
+            )
+        self.attribute = attribute.lower()
+        self.op = op
+        self.value = value
+
+    def negate(self) -> "SimpleExpression":
+        """NOT-elimination at the leaf (Table 2)."""
+        return SimpleExpression(self.attribute, self.op.negated, self.value)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset((self.attribute,))
+
+    def to_condition_string(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"{self.attribute} {self.op.value} '{escaped}'"
+        return f"{self.attribute} {self.op.value} {_format_number(self.value)}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SimpleExpression)
+            and self.attribute == other.attribute
+            and self.op == other.op
+            and self.value == other.value
+            and isinstance(self.value, str) == isinstance(other.value, str)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.op, self.value, isinstance(self.value, str)))
+
+    def __repr__(self) -> str:
+        return f"SimpleExpression({self.attribute!r}, {self.op.value!r}, {self.value!r})"
+
+
+def _flatten(kind, children):
+    flat = []
+    for child in children:
+        if isinstance(child, kind):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    return tuple(flat)
+
+
+class AndExpression(BooleanExpression):
+    """Conjunction of two or more sub-expressions (flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[BooleanExpression, ...]):
+        flat = _flatten(AndExpression, children)
+        if len(flat) < 2:
+            raise ExpressionError("AND needs at least two operands")
+        self.children = flat
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def to_condition_string(self) -> str:
+        return " AND ".join(_wrap(c, for_and=True) for c in self.children)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AndExpression) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("AND", self.children))
+
+    def __repr__(self) -> str:
+        return f"AndExpression({self.children!r})"
+
+
+class OrExpression(BooleanExpression):
+    """Disjunction of two or more sub-expressions (flattened)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[BooleanExpression, ...]):
+        flat = _flatten(OrExpression, children)
+        if len(flat) < 2:
+            raise ExpressionError("OR needs at least two operands")
+        self.children = flat
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def to_condition_string(self) -> str:
+        return " OR ".join(_wrap(c, for_and=False) for c in self.children)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OrExpression) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("OR", self.children))
+
+    def __repr__(self) -> str:
+        return f"OrExpression({self.children!r})"
+
+
+class NotExpression(BooleanExpression):
+    """Logical negation of a sub-expression."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: BooleanExpression):
+        self.child = child
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.child.attributes()
+
+    def to_condition_string(self) -> str:
+        return f"NOT ({self.child.to_condition_string()})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NotExpression) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("NOT", self.child))
+
+    def __repr__(self) -> str:
+        return f"NotExpression({self.child!r})"
+
+
+def _wrap(expression: BooleanExpression, for_and: bool) -> str:
+    """Parenthesise OR-children inside AND renderings to keep precedence."""
+    text = expression.to_condition_string()
+    if for_and and isinstance(expression, OrExpression):
+        return f"({text})"
+    return text
+
+
+def _format_number(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)

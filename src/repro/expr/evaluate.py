@@ -1,0 +1,70 @@
+"""Evaluate filter conditions against stream tuples or plain mappings."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Union
+
+from repro.errors import ExpressionTypeError, UnknownAttributeError
+from repro.expr.ast import (
+    AndExpression,
+    BooleanExpression,
+    NotExpression,
+    OrExpression,
+    SimpleExpression,
+    TrueExpression,
+)
+
+
+def evaluate(expression: BooleanExpression, record: Union[Mapping[str, Any], Any]) -> bool:
+    """Evaluate *expression* against *record*.
+
+    *record* may be a :class:`~repro.streams.tuples.StreamTuple` or any
+    mapping from attribute name to value.  Attribute lookup is
+    case-insensitive.  Comparing a string attribute with a numeric literal
+    (or vice versa) raises :class:`ExpressionTypeError` — the engine
+    validates conditions against the schema before execution, so this
+    signals a programming error rather than silently filtering out tuples.
+    """
+    if isinstance(expression, TrueExpression):
+        return True
+    if isinstance(expression, SimpleExpression):
+        value = _lookup(record, expression.attribute)
+        return _compare(expression, value)
+    if isinstance(expression, AndExpression):
+        return all(evaluate(child, record) for child in expression.children)
+    if isinstance(expression, OrExpression):
+        return any(evaluate(child, record) for child in expression.children)
+    if isinstance(expression, NotExpression):
+        return not evaluate(expression.child, record)
+    raise ExpressionTypeError(f"cannot evaluate expression node {expression!r}")
+
+
+def _lookup(record, attribute: str):
+    getter = getattr(record, "get", None)
+    if getter is not None and hasattr(record, "__contains__"):
+        if attribute in record:
+            return record[attribute]
+        # Fall back to case-insensitive scan for plain dicts.
+        if isinstance(record, Mapping):
+            for key, value in record.items():
+                if key.lower() == attribute:
+                    return value
+        raise UnknownAttributeError(attribute)
+    raise ExpressionTypeError(f"cannot look up attributes on {type(record).__name__}")
+
+
+def _compare(expression: SimpleExpression, value) -> bool:
+    literal = expression.value
+    value_is_str = isinstance(value, str)
+    literal_is_str = isinstance(literal, str)
+    if value_is_str != literal_is_str:
+        raise ExpressionTypeError(
+            f"cannot compare attribute {expression.attribute!r} value {value!r} "
+            f"with literal {literal!r}"
+        )
+    if isinstance(value, bool):
+        raise ExpressionTypeError(
+            f"attribute {expression.attribute!r} is boolean; filter conditions "
+            f"compare numbers or strings"
+        )
+    return expression.op.apply(value, literal)

@@ -1,0 +1,176 @@
+"""Normalisation of complex expressions (Section 3.5, Steps 1 and 2).
+
+Step 1 — *NOT elimination*: push every NOT down to the leaves with
+De Morgan's laws, then remove it at each leaf using the operator-negation
+rules of the paper's Table 2 (``NOT (x > v)`` becomes ``x <= v`` etc.).
+
+Step 2 — *DNF conversion*: convert the NOT-free expression to postfix form
+and evaluate the postfix sequence with a stack, applying the distributive
+law when an AND is popped and concatenating disjuncts when an OR is
+popped.  The result is a disjunctive normal form represented as a list of
+conjunctions, each conjunction a tuple of :class:`SimpleExpression`.
+
+The DNF representation is what the NR/PR checker consumes: it calls the
+pairwise ``checkTwoSimpleExpression`` on every pair of simple expressions
+within each conjunction (cost ``O(k · n²)`` as the paper notes, for ``k``
+conjunctions of at most ``n`` literals each).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    AndExpression,
+    BooleanExpression,
+    NotExpression,
+    OrExpression,
+    SimpleExpression,
+    TrueExpression,
+)
+
+#: One DNF conjunction: an ordered, de-duplicated tuple of simple expressions.
+Conjunction = Tuple[SimpleExpression, ...]
+#: A full DNF: a list of conjunctions (their disjunction).  The empty
+#: conjunction ``()`` denotes TRUE.
+DNF = List[Conjunction]
+
+#: Markers used in the postfix token stream.
+_AND = "AND"
+_OR = "OR"
+PostfixToken = Union[SimpleExpression, TrueExpression, str]
+
+
+def eliminate_not(expression: BooleanExpression) -> BooleanExpression:
+    """Return an equivalent expression containing no NOT nodes (Step 1)."""
+    return _eliminate(expression, negate=False)
+
+
+def _eliminate(expression: BooleanExpression, negate: bool) -> BooleanExpression:
+    if isinstance(expression, NotExpression):
+        return _eliminate(expression.child, not negate)
+    if isinstance(expression, SimpleExpression):
+        return expression.negate() if negate else expression
+    if isinstance(expression, TrueExpression):
+        # NOT TRUE is FALSE; we have no False node, so encode it as an
+        # unsatisfiable comparison on a reserved attribute.  In practice
+        # policies never negate TRUE, but the algebra must stay closed.
+        if negate:
+            return _false_expression()
+        return expression
+    if isinstance(expression, AndExpression):
+        children = tuple(_eliminate(c, negate) for c in expression.children)
+        return OrExpression(children) if negate else AndExpression(children)
+    if isinstance(expression, OrExpression):
+        children = tuple(_eliminate(c, negate) for c in expression.children)
+        return AndExpression(children) if negate else OrExpression(children)
+    raise ExpressionError(f"unknown expression node {expression!r}")
+
+
+def _false_expression() -> BooleanExpression:
+    """An always-false complex expression (x < 0 AND x > 0)."""
+    from repro.expr.ast import Operator
+
+    attr = "__false__"
+    return AndExpression(
+        (
+            SimpleExpression(attr, Operator.LT, 0),
+            SimpleExpression(attr, Operator.GT, 0),
+        )
+    )
+
+
+def to_postfix(expression: BooleanExpression) -> List[PostfixToken]:
+    """Convert a NOT-free expression into a postfix token sequence.
+
+    The paper's Step 2 first rewrites the infix expression to postfix and
+    then evaluates it; this mirrors that pipeline so the implementation
+    follows the published algorithm (rather than recursing on the AST
+    directly, which would be equivalent but less faithful).
+    """
+    output: List[PostfixToken] = []
+    _postfix_walk(expression, output)
+    return output
+
+
+def _postfix_walk(expression: BooleanExpression, output: List[PostfixToken]) -> None:
+    if isinstance(expression, (SimpleExpression, TrueExpression)):
+        output.append(expression)
+        return
+    if isinstance(expression, AndExpression):
+        marker = _AND
+    elif isinstance(expression, OrExpression):
+        marker = _OR
+    elif isinstance(expression, NotExpression):
+        raise ExpressionError("to_postfix requires a NOT-free expression; run eliminate_not first")
+    else:
+        raise ExpressionError(f"unknown expression node {expression!r}")
+    _postfix_walk(expression.children[0], output)
+    for child in expression.children[1:]:
+        _postfix_walk(child, output)
+        output.append(marker)
+
+
+def to_dnf(expression: BooleanExpression) -> DNF:
+    """Normalise *expression* to DNF (Steps 1 + 2 of Section 3.5).
+
+    Returns a list of conjunctions.  Within each conjunction duplicate
+    literals are removed and order is first-appearance, which keeps the
+    pairwise NR/PR scan deterministic.
+
+    >>> from repro.expr.parser import parse_condition
+    >>> dnf = to_dnf(parse_condition("(a>20 AND a<30) OR NOT(a != 40)"))
+    >>> [[s.to_condition_string() for s in conj] for conj in dnf]
+    [['a > 20', 'a < 30'], ['a = 40']]
+    """
+    positive = eliminate_not(expression)
+    postfix = to_postfix(positive)
+    stack: List[DNF] = []
+    for token in postfix:
+        if token == _AND:
+            right = stack.pop()
+            left = stack.pop()
+            # Distributive law: (A1|A2|...) AND (B1|B2|...) =
+            # OR over all pairs (Ai AND Bj).
+            product: DNF = []
+            for a in left:
+                for b in right:
+                    product.append(_merge_conjunctions(a, b))
+            stack.append(product)
+        elif token == _OR:
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(left + right)
+        elif isinstance(token, TrueExpression):
+            stack.append([()])
+        else:
+            stack.append([(token,)])
+    if len(stack) != 1:
+        raise ExpressionError("postfix evaluation left a malformed stack")
+    return _dedupe_conjunctions(stack[0])
+
+
+def _merge_conjunctions(a: Conjunction, b: Conjunction) -> Conjunction:
+    merged = list(a)
+    seen = set(a)
+    for literal in b:
+        if literal not in seen:
+            merged.append(literal)
+            seen.add(literal)
+    return tuple(merged)
+
+
+def _dedupe_conjunctions(dnf: DNF) -> DNF:
+    seen = set()
+    result: DNF = []
+    for conjunction in dnf:
+        key = frozenset(conjunction)
+        if key not in seen:
+            seen.add(key)
+            result.append(conjunction)
+    # TRUE absorbs everything: if any conjunction is empty, the whole
+    # disjunction is TRUE.
+    if any(not conjunction for conjunction in result):
+        return [()]
+    return result

@@ -1,0 +1,108 @@
+"""Simplification of merged filter conditions.
+
+Section 3.1: merging two filters yields ``C3 = (C1) AND (C2)``, and
+"there are cases that C3 can be further simplified.  For example, if
+C1 = x > v1 and C2 = x > v2, C3 can be written as x > v2 iff v2 >= v1."
+
+This module implements that simplification for conjunctions of simple
+expressions: redundant literals (those implied by another literal on the
+same attribute) are dropped.  Simplification is *sound*: the returned
+expression is logically equivalent to the input conjunction.  It is not a
+full minimiser — matching the paper, only pairwise subsumption between
+simple expressions is applied, which already collapses the common
+policy-tightens-user patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.expr.ast import (
+    AndExpression,
+    BooleanExpression,
+    SimpleExpression,
+    TrueExpression,
+)
+from repro.expr.normalize import to_dnf
+from repro.expr.satisfiability import is_subset
+
+
+def conjoin(first: BooleanExpression, second: BooleanExpression) -> BooleanExpression:
+    """``(C1) AND (C2)`` with TRUE treated as the identity element."""
+    if isinstance(first, TrueExpression):
+        return second
+    if isinstance(second, TrueExpression):
+        return first
+    return AndExpression((first, second))
+
+
+def simplify_conjunction(literals: Sequence[SimpleExpression]) -> List[SimpleExpression]:
+    """Drop literals implied by another literal on the same attribute.
+
+    >>> from repro.expr.parser import parse_condition
+    >>> a = parse_condition("x > 5")
+    >>> b = parse_condition("x > 8")
+    >>> [s.to_condition_string() for s in simplify_conjunction([a, b])]
+    ['x > 8']
+    """
+    unique: List[SimpleExpression] = []
+    seen = set()
+    for literal in literals:
+        if literal not in seen:
+            unique.append(literal)
+            seen.add(literal)
+    kept: List[SimpleExpression] = []
+    for i, literal in enumerate(unique):
+        redundant = False
+        for j, other in enumerate(unique):
+            if i == j or literal.attribute != other.attribute:
+                continue
+            # `other` implies `literal` → literal is redundant.  Break the
+            # tie between logically-equal literals by index so exactly one
+            # survives.
+            if is_subset(other, literal) and not (is_subset(literal, other) and i < j):
+                redundant = True
+                break
+        if not redundant:
+            kept.append(literal)
+    return kept
+
+
+def simplify_merged_condition(
+    first: BooleanExpression, second: BooleanExpression
+) -> BooleanExpression:
+    """Merge two filter conditions and simplify the result.
+
+    The conditions are conjoined, normalised to DNF, each conjunction is
+    simplified via :func:`simplify_conjunction`, and the expression is
+    rebuilt.  When either input is TRUE the other is returned unchanged.
+    Purely for cosmetics/efficiency of the generated StreamSQL — the
+    NR/PR analysis runs on the un-simplified form.
+    """
+    if isinstance(first, TrueExpression):
+        return second
+    if isinstance(second, TrueExpression):
+        return first
+    merged = conjoin(first, second)
+    dnf = to_dnf(merged)
+    rebuilt = _rebuild_from_dnf(dnf)
+    return rebuilt if rebuilt is not None else merged
+
+
+def _rebuild_from_dnf(dnf) -> Optional[BooleanExpression]:
+    from repro.expr.ast import OrExpression
+
+    disjuncts: List[BooleanExpression] = []
+    for conjunction in dnf:
+        if not conjunction:
+            return TrueExpression()
+        simplified = simplify_conjunction(conjunction)
+        if len(simplified) == 1:
+            disjuncts.append(simplified[0])
+        else:
+            disjuncts.append(AndExpression(tuple(simplified)))
+    if not disjuncts:
+        return None
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return OrExpression(tuple(disjuncts))

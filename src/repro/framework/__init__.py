@@ -1,0 +1,36 @@
+"""The eXACML+ cloud framework (the paper's Figure 3(a)).
+
+Entities: a cloud **data server** hosting the XACML+ instance, a **proxy**
+with a stream-handle cache, and the **client interface**; plus the
+**direct-query system** baseline that submits StreamSQL straight to the
+DSMS without access control.
+
+The paper's four-machine testbed is replaced by a virtual-clock network
+simulation (:mod:`repro.framework.network`): computation (PDP, graph
+merging, NR/PR, SQL generation) is executed and timed for real, while
+wire time is sampled from a seeded latency model calibrated to the
+paper's reported characteristics (request fulfilment < 1 s, network ≈ ⅔
+of response time, DSMS submission ≈ ⅓, long first-connection tail).
+"""
+
+from repro.framework.network import LatencyModel, SimulatedNetwork, VirtualClock
+from repro.framework.profiles import PROFILES, get_profile
+from repro.framework.metrics import MetricsCollector, RequestTrace
+from repro.framework.server import DataServer
+from repro.framework.proxy import Proxy
+from repro.framework.client import ClientInterface
+from repro.framework.direct import DirectQuerySystem
+
+__all__ = [
+    "LatencyModel",
+    "SimulatedNetwork",
+    "VirtualClock",
+    "PROFILES",
+    "get_profile",
+    "MetricsCollector",
+    "RequestTrace",
+    "DataServer",
+    "Proxy",
+    "ClientInterface",
+    "DirectQuerySystem",
+]

@@ -1,0 +1,162 @@
+"""Timing instrumentation for the evaluation harness.
+
+Each fulfilled request produces a :class:`RequestTrace` whose fields map
+one-to-one onto the series of the paper's Figure 7: total response time,
+PDP time, query-graph manipulation time, and DSMS submission time, plus
+the simulated network share that Figure 6's discussion attributes about
+two thirds of the total to.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class RequestTrace(NamedTuple):
+    """Timing breakdown of one request (all seconds, virtual clock)."""
+
+    sequence_no: int
+    system: str          # "direct" | "exacml+" | "exacml+cache"
+    total: float
+    pdp: float           # Figure 7 "PDP"
+    query_graph: float   # Figure 7 "QueryGraph"
+    dsms_submit: float   # Figure 7 "StreamBase"
+    network: float
+    cache_hit: bool = False
+    outcome: str = "ok"  # "ok" | "denied" | "nr" | "pr" | "concurrent"
+
+
+class DistributionSummary(NamedTuple):
+    """Descriptive statistics of a latency sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> DistributionSummary:
+    """Compute the summary statistics used in EXPERIMENTS.md tables."""
+    if not samples:
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(samples)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / n
+    return DistributionSummary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=ordered[0],
+        p50=percentile(ordered, 0.50),
+        p90=percentile(ordered, 0.90),
+        p99=percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs — the curves of Figure 6."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+class MetricsCollector:
+    """Accumulates request traces and renders evaluation tables."""
+
+    def __init__(self):
+        self.traces: List[RequestTrace] = []
+
+    def add(self, trace: RequestTrace) -> None:
+        self.traces.append(trace)
+
+    def extend(self, traces: Iterable[RequestTrace]) -> None:
+        self.traces.extend(traces)
+
+    def totals(self, system: Optional[str] = None) -> List[float]:
+        return [
+            t.total
+            for t in self.traces
+            if (system is None or t.system == system) and t.outcome == "ok"
+        ]
+
+    def by_system(self) -> Dict[str, List[RequestTrace]]:
+        grouped: Dict[str, List[RequestTrace]] = {}
+        for trace in self.traces:
+            grouped.setdefault(trace.system, []).append(trace)
+        return grouped
+
+    def summary(self, system: Optional[str] = None) -> DistributionSummary:
+        return summarize(self.totals(system))
+
+    def network_share(self, system: str) -> float:
+        """Mean fraction of total response time spent on the network."""
+        rows = [t for t in self.traces if t.system == system and t.outcome == "ok"]
+        if not rows:
+            return 0.0
+        return sum(t.network / t.total for t in rows if t.total > 0) / len(rows)
+
+    def submit_share(self, system: str) -> float:
+        """Mean fraction of total response time spent on DSMS submission."""
+        rows = [t for t in self.traces if t.system == system and t.outcome == "ok"]
+        if not rows:
+            return 0.0
+        return sum(t.dsms_submit / t.total for t in rows if t.total > 0) / len(rows)
+
+    def cache_hit_rate(self, system: str = "exacml+cache") -> float:
+        rows = [t for t in self.traces if t.system == system and t.outcome == "ok"]
+        if not rows:
+            return 0.0
+        return sum(1 for t in rows if t.cache_hit) / len(rows)
+
+    def cdf(self, system: str) -> List[Tuple[float, float]]:
+        return cdf_points(self.totals(system))
+
+    def ascii_cdf(
+        self,
+        systems: Sequence[str],
+        width: int = 60,
+        points: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0),
+    ) -> str:
+        """Render Figure-6-style CDF rows at fixed time points (log grid)."""
+        lines = [
+            "time(s)   " + "  ".join(f"{system:>14s}" for system in systems)
+        ]
+        samples = {system: sorted(self.totals(system)) for system in systems}
+        for point in points:
+            row = [f"{point:7.2f}   "]
+            for system in systems:
+                ordered = samples[system]
+                if not ordered:
+                    row.append(f"{'-':>14s}  ")
+                    continue
+                fraction = _fraction_at_or_below(ordered, point)
+                row.append(f"{fraction:14.3f}  ")
+            lines.append("".join(row).rstrip())
+        return "\n".join(lines)
+
+
+def _fraction_at_or_below(ordered: Sequence[float], value: float) -> float:
+    """Fraction of (sorted) samples ≤ value, via bisection."""
+    import bisect
+
+    return bisect.bisect_right(ordered, value) / len(ordered)

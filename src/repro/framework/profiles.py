@@ -1,0 +1,81 @@
+"""Deployment latency profiles.
+
+The paper's future work: "migrate the framework to commercial Cloud
+environments such as Amazon EC2 and Microsoft's Azure for more
+comprehensive evaluations".  The testbed (the default profile) is the
+authors' 100 Mbps university intranet; the public-cloud profiles model a
+client reaching a cloud region over the Internet, with intra-datacentre
+links between proxy, server and DSMS.
+
+Numbers are representative of 2012-era published measurements: ~5–15 ms
+intra-datacentre RTT, 40–120 ms client-to-region latency, and slower
+first-connection establishment through cloud load balancers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import FrameworkError
+from repro.framework.network import LatencyModel
+
+
+def intranet_profile(seed: int = 2012) -> LatencyModel:
+    """The paper's testbed: all machines on one 100 Mbps intranet."""
+    return LatencyModel(seed=seed)
+
+
+def ec2_like_profile(seed: int = 2012) -> LatencyModel:
+    """Client over the Internet; proxy/server/DSMS inside one EC2 region."""
+    return LatencyModel(
+        seed=seed,
+        links={
+            "client-proxy": (0.085, 0.030, 0.0008),   # WAN hop
+            "proxy-server": (0.008, 0.003, 0.0002),   # intra-DC
+            "server-dsms": (0.006, 0.002, 0.0002),    # intra-DC
+            "client-dsms": (0.090, 0.032, 0.0008),    # WAN hop
+        },
+        dsms_submit_base=0.060,
+        dsms_submit_jitter=0.030,
+        dsms_connection_setup=3.0,
+        dsms_connection_jitter=1.1,
+        policy_load_base=0.18,
+        policy_load_jitter=0.05,
+    )
+
+
+def azure_like_profile(seed: int = 2012) -> LatencyModel:
+    """Same topology with Azure-flavoured constants (slightly slower DC)."""
+    return LatencyModel(
+        seed=seed,
+        links={
+            "client-proxy": (0.095, 0.034, 0.0008),
+            "proxy-server": (0.010, 0.004, 0.0002),
+            "server-dsms": (0.008, 0.003, 0.0002),
+            "client-dsms": (0.100, 0.036, 0.0008),
+        },
+        dsms_submit_base=0.070,
+        dsms_submit_jitter=0.034,
+        dsms_connection_setup=3.4,
+        dsms_connection_jitter=1.2,
+        policy_load_base=0.21,
+        policy_load_jitter=0.05,
+    )
+
+
+PROFILES = {
+    "intranet": intranet_profile,
+    "ec2": ec2_like_profile,
+    "azure": azure_like_profile,
+}
+
+
+def get_profile(name: str, seed: int = 2012) -> LatencyModel:
+    """Build the named latency profile."""
+    try:
+        factory = PROFILES[name]
+    except KeyError:
+        raise FrameworkError(
+            f"unknown deployment profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None
+    return factory(seed=seed)

@@ -1,0 +1,107 @@
+"""The proxy with a stream-handle cache.
+
+"Unlike eXACML, what [is] cached in the proxy is not actual data, but
+data stream handles, whose sizes are significantly smaller" (Section
+4.2).  A cache entry maps a request fingerprint — subject, resource,
+action and the byte-exact customised query — to the handle URI the
+server previously returned.  A hit answers the client without touching
+the server (or the DSMS) at all.
+
+The cache is LRU-bounded; entries are invalidated when the underlying
+handle is withdrawn (revocation must not be masked by the proxy).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import NamedTuple, Optional
+
+from repro.framework.messages import StreamRequestMessage, StreamResponseMessage
+from repro.framework.network import SimulatedNetwork
+from repro.framework.server import DataServer, ServerTiming
+
+
+class ProxyResult(NamedTuple):
+    """Proxy-side outcome: response + timing breakdown components."""
+
+    response: StreamResponseMessage
+    timing: ServerTiming
+    network_seconds: float   # proxy↔server legs (zero on a cache hit)
+    cache_hit: bool
+
+
+class Proxy:
+    """Caches handle responses between clients and the data server."""
+
+    def __init__(
+        self,
+        server: DataServer,
+        network: SimulatedNetwork,
+        cache_enabled: bool = True,
+        cache_capacity: int = 1024,
+    ):
+        self.server = server
+        self.network = network
+        self.cache_enabled = cache_enabled
+        self.cache_capacity = cache_capacity
+        self._cache: "OrderedDict[str, StreamResponseMessage]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def process(self, message: StreamRequestMessage) -> ProxyResult:
+        """Serve one client request, consulting the cache first."""
+        key = message.cache_key()
+        if self.cache_enabled:
+            cached = self._lookup(key)
+            if cached is not None:
+                started = time.perf_counter()
+                # The handle must still be live; a withdrawn query must
+                # not be served from cache (revocation correctness).
+                live = self._handle_live(cached)
+                lookup_compute = time.perf_counter() - started
+                self.network.clock.advance(lookup_compute)
+                if live:
+                    self.hits += 1
+                    timing = ServerTiming(0.0, lookup_compute, 0.0, lookup_compute)
+                    return ProxyResult(cached, timing, 0.0, True)
+                self._cache.pop(key, None)
+        self.misses += 1
+        outbound = self.network.transfer("proxy-server", message.payload_bytes())
+        response, timing = self.server.process(message)
+        inbound = self.network.transfer("proxy-server", response.payload_bytes())
+        if self.cache_enabled and response.ok:
+            self._store(key, response)
+        return ProxyResult(response, timing, outbound + inbound, False)
+
+    def invalidate(self) -> None:
+        """Drop every cache entry."""
+        self._cache.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _lookup(self, key: str) -> Optional[StreamResponseMessage]:
+        response = self._cache.get(key)
+        if response is not None:
+            self._cache.move_to_end(key)
+        return response
+
+    def _store(self, key: str, response: StreamResponseMessage) -> None:
+        self._cache[key] = response
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    def _handle_live(self, response: StreamResponseMessage) -> bool:
+        from repro.errors import UnknownHandleError
+
+        try:
+            self.server.instance.engine.lookup(response.handle_uri)
+        except UnknownHandleError:
+            return False
+        return True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,126 @@
+"""The cloud data server: XACML+ instance behind the simulated network.
+
+The server performs the real access-control computation (PDP evaluation,
+obligation decoding, merging, NR/PR analysis, StreamSQL generation and
+engine registration) and charges the measured time to the virtual clock,
+then adds the simulated server→DSMS submission delay.  Policy loading
+pays the paper's measured per-policy cost (0.25 s ± 0.06 s) regardless
+of how many policies are already loaded.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+import time
+
+from repro.errors import (
+    AccessDeniedError,
+    ConcurrentAccessError,
+    EmptyResultWarning,
+    MergeError,
+    PartialResultWarning,
+)
+from repro.core.merge import MergeOptions
+from repro.core.xacml_plus import XacmlPlusInstance
+from repro.framework.messages import (
+    PolicyLoadMessage,
+    StreamRequestMessage,
+    StreamResponseMessage,
+)
+from repro.framework.network import SimulatedNetwork
+from repro.streams.engine import StreamEngine
+from repro.xacml.policy import Policy
+from repro.xacml.xml_io import parse_policy_xml
+
+
+class ServerTiming(NamedTuple):
+    """Server-side breakdown of one request (seconds)."""
+
+    pdp: float
+    query_graph: float
+    dsms_submit: float     # real submit compute + simulated DSMS network
+    compute_total: float   # everything charged to the clock server-side
+
+
+class DataServer:
+    """Hosts the XACML+ instance; entry point for proxies."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        engine: Optional[StreamEngine] = None,
+        merge_options: MergeOptions = MergeOptions(),
+        enforce_single_access: bool = True,
+        allow_partial_results: bool = False,
+        name: str = "server",
+    ):
+        self.network = network
+        self.name = name
+        self.instance = XacmlPlusInstance(
+            engine=engine,
+            merge_options=merge_options,
+            enforce_single_access=enforce_single_access,
+            allow_partial_results=allow_partial_results,
+        )
+        #: Count of requests processed (all outcomes).
+        self.requests_processed = 0
+
+    # -- policy management ------------------------------------------------------
+
+    def load_policy(self, policy: Union[Policy, str, PolicyLoadMessage]) -> float:
+        """Load one policy; returns the (virtual) seconds the load took."""
+        if isinstance(policy, PolicyLoadMessage):
+            policy = policy.policy_xml
+        if isinstance(policy, str):
+            policy = parse_policy_xml(policy)
+        delay = self.network.policy_load()
+        self.instance.load_policy(policy)
+        return delay
+
+    def remove_policy(self, policy_id: str) -> float:
+        delay = self.network.policy_load()
+        self.instance.remove_policy(policy_id)
+        return delay
+
+    # -- request processing --------------------------------------------------------
+
+    def process(self, message: StreamRequestMessage):
+        """Process one request; returns (response, :class:`ServerTiming`).
+
+        All failures the PEP can signal are mapped onto error responses
+        rather than exceptions — the entity at the other end of a socket
+        only ever sees a response message.
+        """
+        self.requests_processed += 1
+        started = time.perf_counter()
+        try:
+            result = self.instance.request_stream(message.request, message.user_query)
+        except AccessDeniedError as error:
+            return self._error_response("denied", str(error), started)
+        except ConcurrentAccessError as error:
+            return self._error_response("concurrent", str(error), started)
+        except EmptyResultWarning as error:
+            return self._error_response("nr", str(error), started)
+        except PartialResultWarning as error:
+            return self._error_response("pr", str(error), started)
+        except MergeError as error:
+            return self._error_response("nr", str(error), started)
+        compute = time.perf_counter() - started
+        self.network.clock.advance(compute)
+        submit_network = self.network.dsms_submit(
+            self.name, script_bytes=len(result.streamsql.encode())
+        )
+        timing = ServerTiming(
+            pdp=result.timings.pdp,
+            query_graph=result.timings.query_graph,
+            dsms_submit=result.timings.dsms_submit + submit_network,
+            compute_total=compute + submit_network,
+        )
+        return StreamResponseMessage(handle_uri=result.handle.uri), timing
+
+    def _error_response(self, kind: str, detail: str, started: float):
+        compute = time.perf_counter() - started
+        self.network.clock.advance(compute)
+        timing = ServerTiming(0.0, compute, 0.0, compute)
+        return StreamResponseMessage(None, kind, detail), timing

@@ -1,0 +1,45 @@
+"""Catalog of registered input streams (name → stream and schema)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import EngineError, UnknownStreamError
+from repro.streams.schema import Schema
+from repro.streams.stream import Stream
+
+
+class StreamCatalog:
+    """Name-indexed registry of input streams.
+
+    Stream names are case-insensitive, matching the StreamSQL dialect.
+    """
+
+    def __init__(self):
+        self._streams: Dict[str, Stream] = {}
+
+    def register(self, name: str, schema: Schema, max_buffer: int = 1_000_000) -> Stream:
+        key = name.lower()
+        if key in self._streams:
+            raise EngineError(f"stream {name!r} is already registered")
+        stream = Stream(name, schema, max_buffer=max_buffer)
+        self._streams[key] = stream
+        return stream
+
+    def get(self, name: str) -> Stream:
+        try:
+            return self._streams[name.lower()]
+        except KeyError:
+            raise UnknownStreamError(name) from None
+
+    def schema(self, name: str) -> Schema:
+        return self.get(name).schema
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self._streams
+
+    def names(self) -> List[str]:
+        return [stream.name for stream in self._streams.values()]
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,181 @@
+"""The stream engine: registration and continuous execution of queries.
+
+This is the reproduction's StreamBase stand-in.  The engine owns a
+:class:`~repro.streams.catalog.StreamCatalog` of input streams, accepts
+continuous queries either as :class:`~repro.streams.graph.QueryGraph`
+objects or as StreamSQL scripts, runs each registered query continuously
+(push-based: every appended input tuple flows through every attached
+query), and exposes query outputs through
+:class:`~repro.streams.handles.StreamHandle` URIs.
+
+Queries can be *withdrawn* — the revocation primitive that Section 3.3's
+query-graph management relies on when a policy is removed or modified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.errors import EngineError, UnknownHandleError
+from repro.streams.catalog import StreamCatalog
+from repro.streams.graph import QueryGraph, QueryGraphInstance
+from repro.streams.handles import StreamHandle
+from repro.streams.schema import Schema
+from repro.streams.stream import Stream
+from repro.streams.tuples import StreamTuple, make_tuple
+
+
+class RegisteredQuery:
+    """A live continuous query: instance + output stream + handle."""
+
+    def __init__(
+        self,
+        handle: StreamHandle,
+        instance: QueryGraphInstance,
+        output: Stream,
+        source: Stream,
+    ):
+        self.handle = handle
+        self.instance = instance
+        self.output = output
+        self._source = source
+        self._listener = self._on_tuple
+        self.active = True
+        source.add_listener(self._listener)
+
+    def _on_tuple(self, tup: StreamTuple) -> None:
+        for out in self.instance.process(tup):
+            self.output.append(out)
+
+    def withdraw(self) -> None:
+        """Detach from the input stream and close the output."""
+        if self.active:
+            self._source.remove_listener(self._listener)
+            self.output.close()
+            self.active = False
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.instance.output_schema
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "withdrawn"
+        return f"RegisteredQuery({self.handle.uri}, {state})"
+
+
+class StreamEngine:
+    """A single-host Aurora-model DSMS."""
+
+    def __init__(self, host: str = "dsms.local"):
+        self.host = host
+        self.catalog = StreamCatalog()
+        self._queries: Dict[str, RegisteredQuery] = {}
+        #: Count of queries ever registered (for monitoring/benchmarks).
+        self.total_registered = 0
+
+    # -- input streams ---------------------------------------------------------
+
+    def register_input_stream(self, name: str, schema: Schema) -> Stream:
+        """Declare an input stream; returns the backing :class:`Stream`."""
+        return self.catalog.register(name, schema)
+
+    def push(self, stream_name: str, record: Union[StreamTuple, Mapping[str, Any]]) -> None:
+        """Append one record (tuple or mapping) to an input stream.
+
+        Every query registered on the stream processes the record
+        immediately — the continuous-query semantics of the Aurora model.
+        """
+        stream = self.catalog.get(stream_name)
+        if not isinstance(record, StreamTuple):
+            record = make_tuple(stream.schema, record)
+        stream.append(record)
+
+    def push_many(
+        self, stream_name: str, records: Iterable[Union[StreamTuple, Mapping[str, Any]]]
+    ) -> int:
+        count = 0
+        for record in records:
+            self.push(stream_name, record)
+            count += 1
+        return count
+
+    # -- continuous queries ------------------------------------------------------
+
+    def register_query(
+        self, graph: QueryGraph, handle: Optional[StreamHandle] = None
+    ) -> StreamHandle:
+        """Install a continuous query; returns its stream handle.
+
+        The graph is validated against the source stream's schema before
+        anything is installed, so an invalid graph changes no engine state.
+        """
+        source = self.catalog.get(graph.source)
+        instance = graph.instantiate(source.schema)
+        if handle is None:
+            handle = StreamHandle.allocate(self.host)
+        if handle.uri in self._queries:
+            raise EngineError(f"handle {handle.uri!r} is already in use")
+        output = Stream(handle.query_id, instance.output_schema)
+        self._queries[handle.uri] = RegisteredQuery(handle, instance, output, source)
+        self.total_registered += 1
+        return handle
+
+    def register_streamsql(self, script: str) -> StreamHandle:
+        """Parse a StreamSQL script and register the resulting query.
+
+        ``CREATE INPUT STREAM`` statements in the script declare the input
+        stream if it is not yet in the catalog (and are checked for schema
+        agreement when it is).
+        """
+        from repro.streams.streamsql.parser import parse_streamsql
+
+        parsed = parse_streamsql(script)
+        if parsed.input_schema is not None:
+            name = parsed.graph.source
+            if name in self.catalog:
+                existing = self.catalog.schema(name)
+                if existing != parsed.input_schema:
+                    raise EngineError(
+                        f"script redeclares stream {name!r} with a different schema"
+                    )
+            else:
+                self.register_input_stream(name, parsed.input_schema)
+        return self.register_query(parsed.graph)
+
+    def lookup(self, handle: Union[StreamHandle, str]) -> RegisteredQuery:
+        uri = handle.uri if isinstance(handle, StreamHandle) else handle
+        query = self._queries.get(uri)
+        if query is None or not query.active:
+            raise UnknownHandleError(uri)
+        return query
+
+    def read(
+        self, handle: Union[StreamHandle, str], limit: Optional[int] = None
+    ) -> List[StreamTuple]:
+        """Read the retained output of a query (non-consuming snapshot)."""
+        query = self.lookup(handle)
+        snapshot = query.output.snapshot()
+        return snapshot if limit is None else snapshot[-limit:]
+
+    def subscribe(self, handle: Union[StreamHandle, str], from_start: bool = True):
+        """Subscribe a pull cursor to a query's output stream."""
+        return self.lookup(handle).output.subscribe(from_start=from_start)
+
+    def withdraw(self, handle: Union[StreamHandle, str]) -> None:
+        """Remove a continuous query (revocation).
+
+        Withdrawing an unknown or already-withdrawn handle raises
+        :class:`UnknownHandleError` so revocation failures are loud.
+        """
+        uri = handle.uri if isinstance(handle, StreamHandle) else handle
+        query = self._queries.get(uri)
+        if query is None:
+            raise UnknownHandleError(uri)
+        query.withdraw()
+        del self._queries[uri]
+
+    def active_queries(self) -> List[RegisteredQuery]:
+        return [q for q in self._queries.values() if q.active]
+
+    def __len__(self) -> int:
+        return len(self._queries)

@@ -1,0 +1,167 @@
+"""Query graphs: pipelines of Aurora boxes applied to one input stream.
+
+The paper models a continuous query as a directed acyclic graph of
+operators.  Every graph it manipulates (policy obligations, user queries,
+their merge — Figures 1 and 4) is a *chain* over a single input stream
+drawn from {filter, map, window-aggregation}, so :class:`QueryGraph` is an
+ordered pipeline.  The class still validates like a general DAG node list:
+schemas are propagated box-to-box and every operator is checked against
+its actual input schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.streams.operators.base import Operator
+from repro.streams.operators.filter import FilterOperator
+from repro.streams.operators.map import MapOperator
+from repro.streams.operators.window import AggregateOperator
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+_graph_counter = itertools.count(1)
+
+
+class QueryGraph:
+    """An ordered chain of operators over a named input stream."""
+
+    def __init__(
+        self,
+        source: str,
+        operators: Iterable[Operator] = (),
+        name: Optional[str] = None,
+    ):
+        if not source:
+            raise GraphError("query graph needs a source stream name")
+        self.source = source
+        self._operators: List[Operator] = list(operators)
+        self.name = name or f"query_{next(_graph_counter)}"
+
+    # -- construction --------------------------------------------------------
+
+    def append(self, operator: Operator) -> "QueryGraph":
+        """Append a box to the end of the chain; returns self for chaining."""
+        if not isinstance(operator, Operator):
+            raise GraphError(f"not an operator: {operator!r}")
+        self._operators.append(operator)
+        return self
+
+    @property
+    def operators(self) -> Tuple[Operator, ...]:
+        return tuple(self._operators)
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    @property
+    def is_passthrough(self) -> bool:
+        """True when the graph applies no transformation at all."""
+        return not self._operators
+
+    # -- inspection ------------------------------------------------------------
+
+    def find(self, kind: str) -> List[Operator]:
+        """All operators whose :attr:`Operator.kind` equals *kind*."""
+        return [op for op in self._operators if op.kind == kind]
+
+    def single(self, kind: str) -> Optional[Operator]:
+        """The unique operator of *kind*, or None.
+
+        Raises :class:`GraphError` when more than one is present — the
+        merge rules of Section 3.1 are defined on at most one operator of
+        each type per graph.
+        """
+        found = self.find(kind)
+        if len(found) > 1:
+            raise GraphError(f"graph {self.name!r} has {len(found)} {kind} operators")
+        return found[0] if found else None
+
+    @property
+    def filter_operator(self) -> Optional[FilterOperator]:
+        return self.single("filter")  # type: ignore[return-value]
+
+    @property
+    def map_operator(self) -> Optional[MapOperator]:
+        return self.single("map")  # type: ignore[return-value]
+
+    @property
+    def aggregate_operator(self) -> Optional[AggregateOperator]:
+        return self.single("aggregate")  # type: ignore[return-value]
+
+    # -- validation & execution ------------------------------------------------
+
+    def validate(self, input_schema: Schema) -> Schema:
+        """Propagate schemas through the chain; return the output schema.
+
+        Raises on any inconsistency (unknown attribute, aggregate after a
+        projection that dropped its input, type mismatch...).
+        """
+        schema = input_schema
+        for operator in self._operators:
+            schema = operator.output_schema(schema)
+        return schema
+
+    def schema_trace(self, input_schema: Schema) -> List[Schema]:
+        """Schemas at every edge of the chain: input first, output last."""
+        schemas = [input_schema]
+        for operator in self._operators:
+            schemas.append(operator.output_schema(schemas[-1]))
+        return schemas
+
+    def instantiate(self, input_schema: Schema) -> "QueryGraphInstance":
+        """Build a runnable instance with fresh operator state."""
+        return QueryGraphInstance(self, input_schema)
+
+    def fresh_copy(self, name: Optional[str] = None) -> "QueryGraph":
+        return QueryGraph(
+            self.source,
+            [op.fresh_copy() for op in self._operators],
+            name=name or self.name,
+        )
+
+    def describe(self) -> str:
+        if not self._operators:
+            return f"{self.source} → (passthrough)"
+        chain = " → ".join(op.describe() for op in self._operators)
+        return f"{self.source} → {chain}"
+
+    def __repr__(self) -> str:
+        return f"QueryGraph({self.name!r}: {self.describe()})"
+
+
+class QueryGraphInstance:
+    """A running copy of a query graph with per-operator state."""
+
+    def __init__(self, graph: QueryGraph, input_schema: Schema):
+        self.graph = graph
+        self._operators = [op.fresh_copy() for op in graph.operators]
+        self._schemas = graph.schema_trace(input_schema)
+
+    @property
+    def input_schema(self) -> Schema:
+        return self._schemas[0]
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schemas[-1]
+
+    def process(self, tup: StreamTuple) -> List[StreamTuple]:
+        """Push one tuple through the whole chain; return emitted tuples."""
+        batch = [tup]
+        for operator, out_schema in zip(self._operators, self._schemas[1:]):
+            next_batch: List[StreamTuple] = []
+            for item in batch:
+                next_batch.extend(operator.process(item, out_schema))
+            if not next_batch:
+                return []
+            batch = next_batch
+        return batch
+
+    def process_many(self, tuples: Sequence[StreamTuple]) -> List[StreamTuple]:
+        outputs: List[StreamTuple] = []
+        for tup in tuples:
+            outputs.extend(self.process(tup))
+        return outputs

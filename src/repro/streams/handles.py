@@ -1,0 +1,58 @@
+"""Stream handles: the URIs returned to authorized users.
+
+eXACML+ never ships stream data through the access-control path; a
+successful request yields a *handle* — "the unique resource identifier
+(URI) of the processed data stream" — which the client then uses to
+connect to the back-end DSMS (paper Sections 1 and 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import EngineError
+
+_handle_counter = itertools.count(1)
+
+_SCHEME = "stream"
+
+
+class StreamHandle:
+    """A URI pointing at one registered continuous query's output."""
+
+    __slots__ = ("host", "query_id", "uri")
+
+    def __init__(self, host: str, query_id: str):
+        if not host or "/" in host:
+            raise EngineError(f"invalid handle host {host!r}")
+        if not query_id or "/" in query_id:
+            raise EngineError(f"invalid handle query id {query_id!r}")
+        self.host = host
+        self.query_id = query_id
+        self.uri = f"{_SCHEME}://{host}/{query_id}"
+
+    @classmethod
+    def parse(cls, uri: str) -> "StreamHandle":
+        prefix = f"{_SCHEME}://"
+        if not uri.startswith(prefix):
+            raise EngineError(f"not a stream handle URI: {uri!r}")
+        rest = uri[len(prefix):]
+        host, sep, query_id = rest.partition("/")
+        if not sep or not host or not query_id:
+            raise EngineError(f"malformed stream handle URI: {uri!r}")
+        return cls(host, query_id)
+
+    @classmethod
+    def allocate(cls, host: str, prefix: str = "q") -> "StreamHandle":
+        """Allocate a fresh handle on *host* with a unique query id."""
+        return cls(host, f"{prefix}{next(_handle_counter)}")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, StreamHandle) and self.uri == other.uri
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __repr__(self) -> str:
+        return f"StreamHandle({self.uri!r})"

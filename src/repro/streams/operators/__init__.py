@@ -1,0 +1,38 @@
+"""Aurora boxes: filter, map and window-based aggregation.
+
+The paper (Section 2.1) focuses on three common Aurora operators, which
+are exactly the ones an eXACML+ policy can constrain:
+
+- :class:`FilterOperator` — selection by a boolean condition,
+- :class:`MapOperator` — projection onto a set of attributes,
+- :class:`AggregateOperator` — aggregate functions over sliding windows
+  (tuple- or time-based, with a window size and an advance step).
+"""
+
+from repro.streams.operators.base import Operator as StreamOperator
+from repro.streams.operators.filter import FilterOperator
+from repro.streams.operators.map import MapOperator
+from repro.streams.operators.window import (
+    AggregateOperator,
+    AggregationSpec,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AggregateFunction,
+    get_aggregate_function,
+)
+
+__all__ = [
+    "StreamOperator",
+    "FilterOperator",
+    "MapOperator",
+    "AggregateOperator",
+    "AggregationSpec",
+    "WindowSpec",
+    "WindowType",
+    "AGGREGATE_FUNCTIONS",
+    "AggregateFunction",
+    "get_aggregate_function",
+]

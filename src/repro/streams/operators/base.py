@@ -1,0 +1,47 @@
+"""Operator (box) base class.
+
+An operator consumes tuples one at a time and emits zero or more output
+tuples per input — the continuous-query execution model of Aurora.  Each
+operator instance is *stateful* (windows accumulate tuples), so operators
+must be cloned (:meth:`Operator.fresh_copy`) before being installed into a
+second running query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class Operator:
+    """Base class for Aurora boxes."""
+
+    #: Short kind tag used by StreamSQL generation and merging ("filter",
+    #: "map", "aggregate").
+    kind: str = "operator"
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        """The schema of tuples this operator emits given *input_schema*.
+
+        Also serves as validation: raises if the operator cannot be
+        applied to streams of *input_schema* (unknown attribute, wrong
+        type for an aggregate, ...).
+        """
+        raise NotImplementedError
+
+    def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        """Consume one input tuple; return the tuples to emit (often 0/1)."""
+        raise NotImplementedError
+
+    def fresh_copy(self) -> "Operator":
+        """Return a stateless clone suitable for a new query instance."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in logs and errors)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

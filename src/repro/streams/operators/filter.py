@@ -1,0 +1,84 @@
+"""Filter (selection) box."""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import ExpressionTypeError, SchemaError
+from repro.expr.ast import BooleanExpression, SimpleExpression
+from repro.expr.evaluate import evaluate
+from repro.expr.parser import parse_condition
+from repro.streams.operators.base import Operator
+from repro.streams.schema import DataType, Schema
+from repro.streams.tuples import StreamTuple
+
+
+class FilterOperator(Operator):
+    """Emit only the tuples whose values satisfy a boolean condition.
+
+    The condition may be given as a string (parsed with the condition
+    grammar) or an already-built :class:`BooleanExpression`.
+    """
+
+    kind = "filter"
+
+    def __init__(self, condition: Union[str, BooleanExpression]):
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        self.condition = condition
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        self._validate_condition(input_schema)
+        return input_schema
+
+    def _validate_condition(self, schema: Schema) -> None:
+        """Check every referenced attribute exists and types line up."""
+        for attribute in sorted(self.condition.attributes()):
+            field = schema.field(attribute)  # raises UnknownAttributeError
+            for leaf in _leaves(self.condition):
+                if leaf.attribute != attribute:
+                    continue
+                literal_is_str = isinstance(leaf.value, str)
+                field_is_str = field.dtype is DataType.STRING
+                if literal_is_str != field_is_str:
+                    raise SchemaError(
+                        f"filter compares {field.dtype.value} attribute "
+                        f"{field.name!r} with "
+                        f"{'string' if literal_is_str else 'numeric'} literal "
+                        f"{leaf.value!r}"
+                    )
+                if field.dtype is DataType.BOOL:
+                    raise SchemaError(
+                        f"filter conditions on boolean attribute {field.name!r} "
+                        f"are not supported; compare against 0/1 integers instead"
+                    )
+
+    def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        try:
+            passed = evaluate(self.condition, tup)
+        except ExpressionTypeError:
+            # output_schema() validates types up-front, so this only
+            # triggers for operators used outside a validated graph.
+            raise
+        return [tup] if passed else []
+
+    def fresh_copy(self) -> "FilterOperator":
+        return FilterOperator(self.condition)
+
+    def describe(self) -> str:
+        return f"WHERE {self.condition.to_condition_string()}"
+
+
+def _leaves(expression: BooleanExpression):
+    """Yield every SimpleExpression leaf of *expression*."""
+    from repro.expr.ast import AndExpression, NotExpression, OrExpression
+
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SimpleExpression):
+            yield node
+        elif isinstance(node, (AndExpression, OrExpression)):
+            stack.extend(node.children)
+        elif isinstance(node, NotExpression):
+            stack.append(node.child)

@@ -1,0 +1,48 @@
+"""Map (projection) box."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import SchemaError
+from repro.streams.operators.base import Operator
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class MapOperator(Operator):
+    """Project tuples onto a subset of attributes.
+
+    Attribute names are case-insensitive; output order follows the input
+    schema's declaration order (Aurora's map box does not reorder).
+    """
+
+    kind = "map"
+
+    def __init__(self, attributes: Iterable[str]):
+        names: List[str] = []
+        seen = set()
+        for attribute in attributes:
+            key = attribute.lower()
+            if key not in seen:
+                seen.add(key)
+                names.append(attribute)
+        if not names:
+            raise SchemaError("map operator needs at least one attribute")
+        self.attributes: Tuple[str, ...] = tuple(names)
+
+    def attribute_set(self) -> frozenset:
+        """Lower-cased attribute names, for merging and NR/PR checks."""
+        return frozenset(a.lower() for a in self.attributes)
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        return input_schema.project(self.attributes)
+
+    def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        return [tup.project(output_schema)]
+
+    def fresh_copy(self) -> "MapOperator":
+        return MapOperator(self.attributes)
+
+    def describe(self) -> str:
+        return f"SELECT {', '.join(self.attributes)}"

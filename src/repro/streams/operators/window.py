@@ -1,0 +1,269 @@
+"""Window-based aggregation box.
+
+A window-based aggregation operator (paper Section 2.1) consists of a
+sliding window — window *type* (tuple- or time-based), *size* and
+*advance step* — plus the set of attributes and aggregate functions
+computed over each window.
+
+Tuple windows: window *i* covers input positions ``[i·step, i·step+size)``
+and is emitted when its last tuple arrives.  Time windows: with ``t0`` the
+timestamp of the first tuple, window *i* covers ``[t0+i·step,
+t0+i·step+size)`` and is emitted once a tuple at or past the window's end
+arrives (empty time windows emit nothing, matching StreamBase).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, StreamError
+from repro.streams.operators.aggregate import AggregateFunction, get_aggregate_function
+from repro.streams.operators.base import Operator
+from repro.streams.schema import DataType, Field, Schema
+from repro.streams.tuples import StreamTuple
+
+
+class WindowType(enum.Enum):
+    """Whether window size/step count tuples or time units."""
+
+    TUPLE = "tuple"
+    TIME = "time"
+
+    @classmethod
+    def parse(cls, text: str) -> "WindowType":
+        normalized = text.strip().lower()
+        aliases = {
+            "tuple": cls.TUPLE, "tuples": cls.TUPLE,
+            "time": cls.TIME, "seconds": cls.TIME, "second": cls.TIME,
+        }
+        if normalized not in aliases:
+            raise StreamError(f"unknown window type {text!r}")
+        return aliases[normalized]
+
+
+class WindowSpec:
+    """A sliding-window specification (type, size, advance step)."""
+
+    __slots__ = ("window_type", "size", "step")
+
+    def __init__(self, window_type: WindowType, size: int, step: int):
+        if size <= 0:
+            raise StreamError(f"window size must be positive, got {size}")
+        if step <= 0:
+            raise StreamError(f"window advance step must be positive, got {step}")
+        self.window_type = window_type
+        self.size = size
+        self.step = step
+
+    def refines(self, other: "WindowSpec") -> bool:
+        """True when this window is a legal user refinement of *other*.
+
+        Section 3.1's merge rule: the user window is acceptable only when
+        window types match and the policy window's size and advance step
+        are less than or equal to the user's — the user must not obtain
+        finer-grained data than the policy permits.
+        """
+        return (
+            self.window_type is other.window_type
+            and other.size <= self.size
+            and other.step <= self.step
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, WindowSpec)
+            and self.window_type is other.window_type
+            and self.size == other.size
+            and self.step == other.step
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.window_type, self.size, self.step))
+
+    def __repr__(self) -> str:
+        return f"WindowSpec({self.window_type.value}, size={self.size}, step={self.step})"
+
+
+class AggregationSpec:
+    """One ``attribute:function`` pair of a window aggregation.
+
+    The paper's obligation value format is ``attribute-id:aggregate-function``
+    (e.g. ``rainrate:avg``); user queries use ``function(attribute)``
+    (e.g. ``avg(RainRate)``).  Both spellings parse here.
+    """
+
+    __slots__ = ("attribute", "function")
+
+    def __init__(self, attribute: str, function: AggregateFunction):
+        self.attribute = attribute.lower()
+        self.function = function
+
+    @classmethod
+    def parse(cls, text: str) -> "AggregationSpec":
+        stripped = text.strip()
+        if "(" in stripped and stripped.endswith(")"):
+            function_name, _, rest = stripped.partition("(")
+            attribute = rest[:-1]
+        elif ":" in stripped:
+            attribute, _, function_name = stripped.partition(":")
+        else:
+            raise StreamError(
+                f"cannot parse aggregation spec {text!r}; expected "
+                f"'attribute:function' or 'function(attribute)'"
+            )
+        attribute = attribute.strip()
+        function_name = function_name.strip()
+        if not attribute or not function_name:
+            raise StreamError(f"malformed aggregation spec {text!r}")
+        return cls(attribute, get_aggregate_function(function_name))
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Identity used for merge intersection: (attribute, function)."""
+        return (self.attribute, self.function.name)
+
+    def to_obligation_value(self) -> str:
+        return f"{self.attribute}:{self.function.name}"
+
+    def to_call_syntax(self) -> str:
+        return f"{self.function.name}({self.attribute})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AggregationSpec) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"AggregationSpec({self.to_obligation_value()!r})"
+
+
+class AggregateOperator(Operator):
+    """Apply aggregate functions over a sliding window."""
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        aggregations: Iterable[AggregationSpec],
+        time_attribute: Optional[str] = None,
+    ):
+        specs = list(aggregations)
+        if not specs:
+            raise StreamError("aggregation operator needs at least one attribute:function")
+        seen = set()
+        unique: List[AggregationSpec] = []
+        for spec in specs:
+            if spec.key not in seen:
+                seen.add(spec.key)
+                unique.append(spec)
+        self.window = window
+        self.aggregations: Tuple[AggregationSpec, ...] = tuple(unique)
+        self.time_attribute = time_attribute.lower() if time_attribute else None
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._buffer: List[StreamTuple] = []
+        self._count = 0
+        self._next_emit = self.window.size  # tuple windows
+        self._t0: Optional[float] = None    # time windows
+        self._next_window_index = 0
+
+    # -- schema ------------------------------------------------------------
+
+    def output_schema(self, input_schema: Schema) -> Schema:
+        fields: List[Field] = []
+        names = set()
+        for spec in self.aggregations:
+            field = input_schema.field(spec.attribute)
+            out = spec.function.result_field(field)
+            if out.name.lower() in names:
+                raise SchemaError(f"duplicate aggregation output {out.name!r}")
+            names.add(out.name.lower())
+            fields.append(out)
+        if self.window.window_type is WindowType.TIME:
+            self._time_field(input_schema)  # validate presence
+        return Schema(f"{input_schema.name}_agg", fields)
+
+    def _time_field(self, schema: Schema) -> Field:
+        if self.time_attribute:
+            field = schema.field(self.time_attribute)
+            if field.dtype not in (DataType.TIMESTAMP, DataType.DOUBLE, DataType.INT):
+                raise SchemaError(
+                    f"time attribute {field.name!r} must be numeric/timestamp"
+                )
+            return field
+        for field in schema:
+            if field.dtype is DataType.TIMESTAMP:
+                return field
+        raise SchemaError(
+            f"time-based window needs a timestamp attribute in schema "
+            f"{schema.name!r} (or an explicit time_attribute)"
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        if self.window.window_type is WindowType.TUPLE:
+            return self._process_tuple_window(tup, output_schema)
+        return self._process_time_window(tup, output_schema)
+
+    def _process_tuple_window(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        self._buffer.append(tup)
+        self._count += 1
+        # Retain only the tail a future window can still need.
+        max_tail = self.window.size
+        if len(self._buffer) > max_tail:
+            del self._buffer[: len(self._buffer) - max_tail]
+        outputs: List[StreamTuple] = []
+        while self._count >= self._next_emit:
+            window_tuples = self._buffer[-self.window.size :]
+            outputs.append(self._emit(window_tuples, output_schema))
+            self._next_emit += self.window.step
+        return outputs
+
+    def _process_time_window(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        time_field = self._time_field(tup.schema)
+        timestamp = tup[time_field.name]
+        if self._t0 is None:
+            self._t0 = timestamp
+        outputs: List[StreamTuple] = []
+        # Close every window that ends at or before this timestamp.
+        while True:
+            start = self._t0 + self._next_window_index * self.window.step
+            end = start + self.window.size
+            if timestamp < end:
+                break
+            window_tuples = [
+                t for t in self._buffer if start <= t[time_field.name] < end
+            ]
+            if window_tuples:
+                outputs.append(self._emit(window_tuples, output_schema))
+            self._next_window_index += 1
+        self._buffer.append(tup)
+        # Prune tuples no future window can cover.
+        earliest_needed = self._t0 + self._next_window_index * self.window.step
+        self._buffer = [t for t in self._buffer if t[time_field.name] >= earliest_needed]
+        return outputs
+
+    def _emit(self, window_tuples: Sequence[StreamTuple], output_schema: Schema) -> StreamTuple:
+        values = []
+        for spec in self.aggregations:
+            column = [t[spec.attribute] for t in window_tuples]
+            values.append(spec.function.compute(column))
+        coerced = tuple(
+            field.dtype.coerce(value) for field, value in zip(output_schema, values)
+        )
+        return StreamTuple(output_schema, coerced)
+
+    def fresh_copy(self) -> "AggregateOperator":
+        return AggregateOperator(self.window, self.aggregations, self.time_attribute)
+
+    def describe(self) -> str:
+        aggs = ", ".join(spec.to_call_syntax() for spec in self.aggregations)
+        return (
+            f"{aggs} OVER {self.window.window_type.value} window "
+            f"SIZE {self.window.size} ADVANCE {self.window.step}"
+        )

@@ -1,0 +1,138 @@
+"""Streams and subscriptions.
+
+A :class:`Stream` is an append-only sequence of tuples with one schema.
+Consumers attach :class:`StreamSubscription` cursors; each subscription
+tracks its own read position so multiple independent readers (different
+registered queries, the reconstruction-attack demo, tests) can drain the
+same stream without interfering.
+
+Streams keep a bounded in-memory tail (``max_buffer``) because real data
+streams are unbounded; a subscription that falls behind the retained tail
+raises rather than silently skipping data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import StreamError
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class Stream:
+    """An append-only, schema-typed sequence of tuples."""
+
+    def __init__(self, name: str, schema: Schema, max_buffer: int = 1_000_000):
+        if max_buffer <= 0:
+            raise StreamError("max_buffer must be positive")
+        self.name = name
+        self.schema = schema
+        self.max_buffer = max_buffer
+        self._buffer: List[StreamTuple] = []
+        #: Index (in the unbounded logical stream) of ``_buffer[0]``.
+        self._base = 0
+        self._listeners: List[Callable[[StreamTuple], None]] = []
+        self._closed = False
+
+    @property
+    def total_appended(self) -> int:
+        """Number of tuples ever appended (the logical stream length)."""
+        return self._base + len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, tup: StreamTuple) -> None:
+        """Append one tuple, validating its schema, and notify listeners."""
+        if self._closed:
+            raise StreamError(f"stream {self.name!r} is closed")
+        if tup.schema != self.schema:
+            raise StreamError(
+                f"tuple schema {tup.schema.name!r} does not match stream "
+                f"{self.name!r} schema {self.schema.name!r}"
+            )
+        self._buffer.append(tup)
+        if len(self._buffer) > self.max_buffer:
+            overflow = len(self._buffer) - self.max_buffer
+            del self._buffer[:overflow]
+            self._base += overflow
+        for listener in list(self._listeners):
+            listener(tup)
+
+    def extend(self, tuples: Iterable[StreamTuple]) -> None:
+        for tup in tuples:
+            self.append(tup)
+
+    def close(self) -> None:
+        """Mark the stream complete; further appends raise."""
+        self._closed = True
+
+    def add_listener(self, callback: Callable[[StreamTuple], None]) -> None:
+        """Register a push callback invoked once per appended tuple."""
+        self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[StreamTuple], None]) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def subscribe(self, from_start: bool = True) -> "StreamSubscription":
+        """Create a pull cursor over this stream.
+
+        With ``from_start=False`` the cursor begins at the current end of
+        the stream and only sees tuples appended afterwards — matching how
+        a newly-registered continuous query sees a live feed.
+        """
+        position = self._base if from_start else self.total_appended
+        return StreamSubscription(self, position)
+
+    def snapshot(self) -> List[StreamTuple]:
+        """Return a copy of the currently retained tail."""
+        return list(self._buffer)
+
+    def _read_from(self, position: int) -> List[StreamTuple]:
+        if position < self._base:
+            raise StreamError(
+                f"subscription on {self.name!r} fell behind the retained "
+                f"buffer (wanted {position}, earliest retained {self._base})"
+            )
+        return self._buffer[position - self._base :]
+
+    def __repr__(self) -> str:
+        return f"Stream({self.name!r}, schema={self.schema.name!r}, n={self.total_appended})"
+
+
+class StreamSubscription:
+    """A pull cursor over a :class:`Stream` with an independent position."""
+
+    def __init__(self, stream: Stream, position: int):
+        self._stream = stream
+        self._position = position
+
+    @property
+    def stream(self) -> Stream:
+        return self._stream
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def pending(self) -> int:
+        """Number of appended-but-unread tuples."""
+        return self._stream.total_appended - self._position
+
+    def poll(self, limit: Optional[int] = None) -> List[StreamTuple]:
+        """Return (and consume) up to *limit* unread tuples."""
+        available = self._stream._read_from(self._position)
+        if limit is not None:
+            available = available[:limit]
+        self._position += len(available)
+        return available
+
+    def drain(self) -> List[StreamTuple]:
+        """Return (and consume) all unread tuples."""
+        return self.poll()

@@ -1,0 +1,21 @@
+"""StreamSQL: the SQL-like surface syntax for query graphs.
+
+StreamBase ships StreamSQL, "a SQL-like representation of query graphs"
+(paper Section 2.1); the PEP converts merged query graphs into StreamSQL
+scripts before submitting them to the DSMS (Section 3.2, step 5).  This
+package implements the dialect exercised by the paper's Figure 4(b):
+
+- ``CREATE INPUT STREAM name (field type, ...);``
+- ``CREATE [OUTPUT] STREAM name;``
+- ``CREATE WINDOW name (SIZE n ADVANCE m TUPLES|SECONDS);``
+- ``SELECT select_list FROM source[window] [WHERE condition] INTO target;``
+
+:func:`generate_streamsql` renders a :class:`~repro.streams.graph.QueryGraph`
+into a script in exactly the paper's style; :func:`parse_streamsql` parses
+a script back into a graph, so the two are inverse up to naming.
+"""
+
+from repro.streams.streamsql.generator import generate_streamsql
+from repro.streams.streamsql.parser import ParsedScript, parse_streamsql
+
+__all__ = ["generate_streamsql", "parse_streamsql", "ParsedScript"]

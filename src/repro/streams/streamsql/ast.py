@@ -1,0 +1,62 @@
+"""Statement-level AST for StreamSQL scripts."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.expr.ast import BooleanExpression
+from repro.streams.operators.window import WindowSpec
+from repro.streams.schema import Schema
+
+
+class CreateInputStream(NamedTuple):
+    """``CREATE INPUT STREAM name (field type, ...);``"""
+
+    schema: Schema
+
+
+class CreateStream(NamedTuple):
+    """``CREATE [OUTPUT] STREAM name;``"""
+
+    name: str
+    is_output: bool
+
+
+class CreateWindow(NamedTuple):
+    """``CREATE WINDOW name (SIZE n ADVANCE m TUPLES|SECONDS);``"""
+
+    name: str
+    spec: WindowSpec
+
+
+class SelectItem(NamedTuple):
+    """One select-list entry.
+
+    ``function`` is None for a plain attribute reference.  ``alias`` is
+    the optional ``AS`` name.  A bare ``*`` select list is represented by
+    ``SelectStatement.star``.
+    """
+
+    attribute: str
+    function: Optional[str]
+    alias: Optional[str]
+
+
+class SelectStatement(NamedTuple):
+    """``SELECT items FROM source[window] [WHERE cond] INTO target;``"""
+
+    star: bool
+    items: Tuple[SelectItem, ...]
+    source: str
+    window_name: Optional[str]
+    condition: Optional[BooleanExpression]
+    target: str
+
+
+Statement = object  # union of the NamedTuples above
+
+
+class Script(NamedTuple):
+    """An ordered list of parsed statements."""
+
+    statements: List[Statement]

@@ -1,0 +1,135 @@
+"""Tokenizer for the StreamSQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import StreamSQLError
+
+
+class SqlTokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"          # comparison operators inside WHERE
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    DOT = "."
+    STAR = "*"
+    END = "end"
+
+
+class SqlToken(NamedTuple):
+    type: SqlTokenType
+    text: str
+    position: int
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+_PUNCT = {
+    "(": SqlTokenType.LPAREN,
+    ")": SqlTokenType.RPAREN,
+    "[": SqlTokenType.LBRACKET,
+    "]": SqlTokenType.RBRACKET,
+    ",": SqlTokenType.COMMA,
+    ";": SqlTokenType.SEMI,
+    ".": SqlTokenType.DOT,
+    "*": SqlTokenType.STAR,
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "!=", "<>", "==")
+_ONE_CHAR_OPS = ("<", ">", "=")
+
+
+def tokenize_sql(text: str) -> List[SqlToken]:
+    """Tokenize a full StreamSQL script (comments: ``--`` to end of line)."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[SqlToken]:
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def make(token_type: SqlTokenType, start: int, end: int) -> SqlToken:
+        return SqlToken(token_type, text[start:end], start, line, start - line_start + 1)
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            yield make(SqlTokenType.OP, i, i + 2)
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield make(SqlTokenType.OP, i, i + 1)
+            i += 1
+            continue
+        if ch in _PUNCT:
+            # A dot starting a number (".5") is numeric, not punctuation.
+            if ch == "." and i + 1 < n and text[i + 1].isdigit():
+                pass
+            else:
+                yield make(_PUNCT[ch], i, i + 1)
+                i += 1
+                continue
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            else:
+                raise StreamSQLError(
+                    "unterminated string literal", line=line, column=i - line_start + 1
+                )
+            yield make(SqlTokenType.STRING, i, j + 1)
+            i = j + 1
+            continue
+        if ch.isdigit() or ch == ".":
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            yield make(SqlTokenType.NUMBER, i, j)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            yield make(SqlTokenType.IDENT, i, j)
+            i = j
+            continue
+        raise StreamSQLError(
+            f"unexpected character {ch!r}", line=line, column=i - line_start + 1
+        )
+    yield SqlToken(SqlTokenType.END, "", n, line, n - line_start + 1)

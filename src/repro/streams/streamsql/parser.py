@@ -1,0 +1,407 @@
+"""Parser: StreamSQL scripts → statements → a QueryGraph.
+
+Parsing happens in two phases.  Phase 1 turns the token stream into
+statement objects (:mod:`repro.streams.streamsql.ast`).  Phase 2 links the
+``SELECT ... INTO ...`` chain from the input stream to the final output
+stream and lowers each SELECT into Aurora boxes:
+
+- ``SELECT * ... WHERE c``        → filter(c)
+- ``SELECT a, b ...``             → map(a, b)   (with an optional filter first)
+- ``SELECT f(a), g(b) FROM s[w]`` → window aggregation
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.errors import StreamSQLError
+from repro.expr.ast import BooleanExpression
+from repro.expr.parser import parse_condition
+from repro.streams.graph import QueryGraph
+from repro.streams.operators.aggregate import get_aggregate_function
+from repro.streams.operators.filter import FilterOperator
+from repro.streams.operators.map import MapOperator
+from repro.streams.operators.window import (
+    AggregateOperator,
+    AggregationSpec,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import Field, Schema
+from repro.streams.streamsql import ast as sql_ast
+from repro.streams.streamsql.lexer import SqlToken, SqlTokenType, tokenize_sql
+
+
+class ParsedScript(NamedTuple):
+    """Result of parsing one script: the query graph and input schema.
+
+    ``input_schema`` is None when the script contains no
+    ``CREATE INPUT STREAM`` (the stream is expected to pre-exist in the
+    engine catalog).
+    """
+
+    graph: QueryGraph
+    input_schema: Optional[Schema]
+    output_name: str
+
+
+class _TokenCursor:
+    def __init__(self, text: str, tokens: List[SqlToken]):
+        self.text = text
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> SqlToken:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> SqlToken:
+        token = self._tokens[self._index]
+        if token.type is not SqlTokenType.END:
+            self._index += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.type is SqlTokenType.IDENT and token.upper in words
+
+    def expect_keyword(self, word: str) -> SqlToken:
+        token = self.peek()
+        if token.type is not SqlTokenType.IDENT or token.upper != word:
+            raise StreamSQLError(
+                f"expected {word}, found {token.text or 'end of script'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def expect(self, token_type: SqlTokenType) -> SqlToken:
+        token = self.peek()
+        if token.type is not token_type:
+            raise StreamSQLError(
+                f"expected {token_type.value!r}, found {token.text or 'end of script'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> SqlToken:
+        token = self.peek()
+        if token.type is not SqlTokenType.IDENT:
+            raise StreamSQLError(
+                f"expected an identifier, found {token.text or 'end of script'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    @property
+    def done(self) -> bool:
+        return self.peek().type is SqlTokenType.END
+
+
+def parse_script(text: str) -> sql_ast.Script:
+    """Phase 1: parse *text* into a list of statements."""
+    cursor = _TokenCursor(text, tokenize_sql(text))
+    statements: List[object] = []
+    while not cursor.done:
+        if cursor.at_keyword("CREATE"):
+            statements.append(_parse_create(cursor))
+        elif cursor.at_keyword("SELECT"):
+            statements.append(_parse_select(cursor))
+        else:
+            token = cursor.peek()
+            raise StreamSQLError(
+                f"expected CREATE or SELECT, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+    return sql_ast.Script(statements)
+
+
+def _parse_create(cursor: _TokenCursor):
+    cursor.expect_keyword("CREATE")
+    if cursor.at_keyword("WINDOW"):
+        return _parse_create_window(cursor)
+    is_input = False
+    is_output = False
+    if cursor.at_keyword("INPUT"):
+        cursor.advance()
+        is_input = True
+    elif cursor.at_keyword("OUTPUT"):
+        cursor.advance()
+        is_output = True
+    cursor.expect_keyword("STREAM")
+    name = cursor.expect_ident().text
+    if is_input:
+        schema = _parse_schema_fields(cursor, name)
+        cursor.expect(SqlTokenType.SEMI)
+        return sql_ast.CreateInputStream(schema)
+    # CREATE [OUTPUT] STREAM name [(fields)] ;  — fields optional for
+    # internal/output streams (the engine infers their schemas).
+    if cursor.peek().type is SqlTokenType.LPAREN:
+        _parse_schema_fields(cursor, name)
+    cursor.expect(SqlTokenType.SEMI)
+    return sql_ast.CreateStream(name, is_output)
+
+
+def _parse_schema_fields(cursor: _TokenCursor, stream_name: str) -> Schema:
+    cursor.expect(SqlTokenType.LPAREN)
+    fields: List[Field] = []
+    while True:
+        field_name = cursor.expect_ident().text
+        type_name = cursor.expect_ident().text
+        fields.append(Field(field_name, type_name))
+        if cursor.peek().type is SqlTokenType.COMMA:
+            cursor.advance()
+            continue
+        break
+    cursor.expect(SqlTokenType.RPAREN)
+    return Schema(stream_name, fields)
+
+
+def _parse_create_window(cursor: _TokenCursor) -> sql_ast.CreateWindow:
+    cursor.expect_keyword("WINDOW")
+    name = cursor.expect_ident().text
+    cursor.expect(SqlTokenType.LPAREN)
+    cursor.expect_keyword("SIZE")
+    size = _expect_int(cursor)
+    cursor.expect_keyword("ADVANCE")
+    step = _expect_int(cursor)
+    unit_token = cursor.expect_ident()
+    if unit_token.upper in ("TUPLE", "TUPLES"):
+        window_type = WindowType.TUPLE
+    elif unit_token.upper in ("SECOND", "SECONDS", "TIME"):
+        window_type = WindowType.TIME
+    else:
+        raise StreamSQLError(
+            f"expected TUPLES or SECONDS, found {unit_token.text!r}",
+            line=unit_token.line,
+            column=unit_token.column,
+        )
+    cursor.expect(SqlTokenType.RPAREN)
+    cursor.expect(SqlTokenType.SEMI)
+    return sql_ast.CreateWindow(name, WindowSpec(window_type, size, step))
+
+
+def _expect_int(cursor: _TokenCursor) -> int:
+    token = cursor.expect(SqlTokenType.NUMBER)
+    try:
+        return int(token.text)
+    except ValueError:
+        raise StreamSQLError(
+            f"expected an integer, found {token.text!r}",
+            line=token.line,
+            column=token.column,
+        ) from None
+
+
+def _parse_select(cursor: _TokenCursor) -> sql_ast.SelectStatement:
+    cursor.expect_keyword("SELECT")
+    star = False
+    items: List[sql_ast.SelectItem] = []
+    if cursor.peek().type is SqlTokenType.STAR:
+        cursor.advance()
+        star = True
+    else:
+        while True:
+            items.append(_parse_select_item(cursor))
+            if cursor.peek().type is SqlTokenType.COMMA:
+                cursor.advance()
+                # Tolerate a trailing comma before FROM (the paper's own
+                # Figure 4(b) contains one).
+                if cursor.at_keyword("FROM"):
+                    break
+                continue
+            break
+    cursor.expect_keyword("FROM")
+    source = cursor.expect_ident().text
+    window_name: Optional[str] = None
+    if cursor.peek().type is SqlTokenType.LBRACKET:
+        cursor.advance()
+        window_name = cursor.expect_ident().text
+        cursor.expect(SqlTokenType.RBRACKET)
+    condition: Optional[BooleanExpression] = None
+    if cursor.at_keyword("WHERE"):
+        cursor.advance()
+        condition = _parse_where(cursor)
+    cursor.expect_keyword("INTO")
+    target = cursor.expect_ident().text
+    cursor.expect(SqlTokenType.SEMI)
+    return sql_ast.SelectStatement(
+        star, tuple(items), source, window_name, condition, target
+    )
+
+
+def _parse_select_item(cursor: _TokenCursor) -> sql_ast.SelectItem:
+    first = cursor.expect_ident()
+    function: Optional[str] = None
+    attribute = first.text
+    if cursor.peek().type is SqlTokenType.LPAREN:
+        function = first.text
+        cursor.advance()
+        attribute = _parse_attribute_ref(cursor)
+        cursor.expect(SqlTokenType.RPAREN)
+    elif cursor.peek().type is SqlTokenType.DOT:
+        cursor.advance()
+        attribute = cursor.expect_ident().text  # drop the stream qualifier
+    alias: Optional[str] = None
+    if cursor.at_keyword("AS"):
+        cursor.advance()
+        alias = cursor.expect_ident().text
+    return sql_ast.SelectItem(attribute, function, alias)
+
+
+def _parse_attribute_ref(cursor: _TokenCursor) -> str:
+    name = cursor.expect_ident().text
+    if cursor.peek().type is SqlTokenType.DOT:
+        cursor.advance()
+        name = cursor.expect_ident().text
+    return name
+
+
+def _parse_where(cursor: _TokenCursor) -> BooleanExpression:
+    """Parse a WHERE clause by delegating to the condition grammar.
+
+    The clause runs until the INTO keyword; the raw substring between is
+    handed to :func:`repro.expr.parser.parse_condition`, keeping one
+    authoritative grammar for conditions.
+    """
+    start_token = cursor.peek()
+    depth = 0
+    end_position = start_token.position
+    while True:
+        token = cursor.peek()
+        if token.type is SqlTokenType.END:
+            raise StreamSQLError(
+                "WHERE clause not terminated by INTO",
+                line=token.line,
+                column=token.column,
+            )
+        if token.type is SqlTokenType.LPAREN:
+            depth += 1
+        elif token.type is SqlTokenType.RPAREN:
+            depth -= 1
+        elif depth == 0 and token.type is SqlTokenType.IDENT and token.upper == "INTO":
+            break
+        end_position = token.position + len(token.text)
+        cursor.advance()
+    clause = cursor.text[start_token.position : end_position]
+    # Strip stream qualifiers ("internal_0.rainrate" → "rainrate").
+    return parse_condition(_strip_qualifiers(clause))
+
+
+def _strip_qualifiers(clause: str) -> str:
+    import re
+
+    return re.sub(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*([A-Za-z_][A-Za-z0-9_]*)", r"\2", clause)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: lower statements into a QueryGraph
+# ---------------------------------------------------------------------------
+
+def parse_streamsql(text: str) -> ParsedScript:
+    """Parse a full script into a :class:`ParsedScript`.
+
+    The script must contain a single chain of SELECT statements leading
+    from one source stream to one final target; branching scripts are
+    rejected (the paper's PEP only ever emits chains).
+    """
+    script = parse_script(text)
+    input_schema: Optional[Schema] = None
+    windows: Dict[str, WindowSpec] = {}
+    selects: List[sql_ast.SelectStatement] = []
+    declared: Dict[str, bool] = {}
+
+    for statement in script.statements:
+        if isinstance(statement, sql_ast.CreateInputStream):
+            if input_schema is not None:
+                raise StreamSQLError("script declares more than one INPUT STREAM")
+            input_schema = statement.schema
+            declared[statement.schema.name.lower()] = True
+        elif isinstance(statement, sql_ast.CreateStream):
+            declared[statement.name.lower()] = True
+        elif isinstance(statement, sql_ast.CreateWindow):
+            windows[statement.name.lower()] = statement.spec
+        elif isinstance(statement, sql_ast.SelectStatement):
+            selects.append(statement)
+
+    if not selects:
+        raise StreamSQLError("script contains no SELECT statement")
+
+    chain, source, output_name = _order_chain(selects)
+    graph = QueryGraph(source)
+    for select in chain:
+        for operator in _lower_select(select, windows):
+            graph.append(operator)
+    return ParsedScript(graph, input_schema, output_name)
+
+
+def _order_chain(
+    selects: List[sql_ast.SelectStatement],
+) -> Tuple[List[sql_ast.SelectStatement], str, str]:
+    by_source: Dict[str, sql_ast.SelectStatement] = {}
+    targets = set()
+    for select in selects:
+        key = select.source.lower()
+        if key in by_source:
+            raise StreamSQLError(f"stream {select.source!r} feeds two SELECT statements")
+        by_source[key] = select
+        targets.add(select.target.lower())
+    roots = [s for s in selects if s.source.lower() not in targets]
+    if len(roots) != 1:
+        raise StreamSQLError(
+            f"script must form a single SELECT chain; found {len(roots)} chain heads"
+        )
+    chain: List[sql_ast.SelectStatement] = []
+    current = roots[0]
+    seen = set()
+    while True:
+        if id(current) in seen:
+            raise StreamSQLError("SELECT statements form a cycle")
+        seen.add(id(current))
+        chain.append(current)
+        next_select = by_source.get(current.target.lower())
+        if next_select is None:
+            break
+        current = next_select
+    if len(chain) != len(selects):
+        raise StreamSQLError("script contains SELECT statements outside the main chain")
+    return chain, roots[0].source, chain[-1].target
+
+
+def _lower_select(
+    select: sql_ast.SelectStatement, windows: Dict[str, WindowSpec]
+) -> List[object]:
+    operators: List[object] = []
+    if select.condition is not None:
+        operators.append(FilterOperator(select.condition))
+    if select.window_name is not None:
+        spec = windows.get(select.window_name.lower())
+        if spec is None:
+            raise StreamSQLError(f"undefined window {select.window_name!r}")
+        aggregations = []
+        for item in select.items:
+            if item.function is None:
+                raise StreamSQLError(
+                    f"windowed SELECT must aggregate every column; "
+                    f"{item.attribute!r} has no aggregate function"
+                )
+            aggregations.append(
+                AggregationSpec(item.attribute, get_aggregate_function(item.function))
+            )
+        if select.star or not aggregations:
+            raise StreamSQLError("windowed SELECT cannot use *")
+        operators.append(AggregateOperator(spec, aggregations))
+        return operators
+    if select.star:
+        if select.condition is None:
+            raise StreamSQLError(
+                f"SELECT * FROM {select.source} without WHERE or window is a no-op"
+            )
+        return operators
+    if any(item.function is not None for item in select.items):
+        raise StreamSQLError("aggregate functions require a [window] on the source")
+    operators.append(MapOperator([item.attribute for item in select.items]))
+    return operators

@@ -1,0 +1,113 @@
+"""Stream tuples: immutable, schema-validated records.
+
+A :class:`StreamTuple` pairs a schema with one value per field.  Tuples are
+immutable — the Aurora model treats streams as append-only sequences and
+operators always emit *new* tuples rather than mutating inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import SchemaError
+from repro.streams.schema import Schema
+
+
+class StreamTuple:
+    """One record of a data stream.
+
+    Values are stored positionally in schema order; attribute access is
+    case-insensitive, mirroring the engine's StreamSQL dialect.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Tuple[Any, ...]):
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"tuple has {len(values)} values but schema {schema.name!r} "
+                f"has {len(schema)} fields"
+            )
+        self._schema = schema
+        self._values = values
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        return self._values
+
+    def __getitem__(self, attribute: str) -> Any:
+        field = self._schema.field(attribute)
+        index = self._schema.attribute_names.index(field.name)
+        return self._values[index]
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return the value of *attribute*, or *default* when absent."""
+        if attribute in self._schema:
+            return self[attribute]
+        return default
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._schema
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the tuple as an ordered ``{attribute: value}`` dict."""
+        return dict(zip(self._schema.attribute_names, self._values))
+
+    def project(self, schema: Schema) -> "StreamTuple":
+        """Re-shape this tuple onto *schema* (a projection of its own)."""
+        return StreamTuple(schema, tuple(self[name] for name in schema.attribute_names))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, StreamTuple)
+            and self._schema == other._schema
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}"
+            for name, value in zip(self._schema.attribute_names, self._values)
+        )
+        return f"StreamTuple({self._schema.name}: {inner})"
+
+
+def make_tuple(schema: Schema, record: Mapping[str, Any]) -> StreamTuple:
+    """Build a validated :class:`StreamTuple` from a mapping.
+
+    Every schema field must be present in *record* (case-insensitive);
+    extra keys are rejected so typos surface immediately.  Values are
+    coerced via :meth:`DataType.coerce`.
+    """
+    lowered = {key.lower(): value for key, value in record.items()}
+    if len(lowered) != len(record):
+        raise SchemaError(f"record has duplicate keys (case-insensitive): {sorted(record)}")
+    values = []
+    for field in schema:
+        key = field.name.lower()
+        if key not in lowered:
+            raise SchemaError(f"record is missing attribute {field.name!r}")
+        values.append(field.dtype.coerce(lowered.pop(key)))
+    if lowered:
+        raise SchemaError(
+            f"record has attributes not in schema {schema.name!r}: {sorted(lowered)}"
+        )
+    return StreamTuple(schema, tuple(values))
+
+
+def make_tuples(schema: Schema, records: Iterable[Mapping[str, Any]]):
+    """Build a list of validated tuples from an iterable of mappings."""
+    return [make_tuple(schema, record) for record in records]

@@ -1,0 +1,62 @@
+"""Zipf-distributed request sequences (Figure 6(b)'s workload).
+
+"The sequence follows Zipf distribution, which models the scenario where
+a small number of popular streams are requested frequently" — with the
+paper's parameters α = 0.223 and maxRank = 300 (Table 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Table 3 values.
+DEFAULT_ALPHA = 0.223
+DEFAULT_MAX_RANK = 300
+
+
+def zipf_ranks(
+    length: int,
+    alpha: float = DEFAULT_ALPHA,
+    max_rank: int = DEFAULT_MAX_RANK,
+    seed: int = 42,
+) -> List[int]:
+    """Sample *length* ranks in ``[1, max_rank]`` with P(r) ∝ r^-α."""
+    if max_rank <= 0:
+        raise ValueError("max_rank must be positive")
+    rng = random.Random(seed)
+    weights = [rank ** (-alpha) for rank in range(1, max_rank + 1)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    ranks = []
+    for _ in range(length):
+        point = rng.random() * total
+        ranks.append(bisect.bisect_left(cumulative, point) + 1)
+    return ranks
+
+
+def zipf_sequence(
+    population: Sequence[T],
+    length: int,
+    alpha: float = DEFAULT_ALPHA,
+    max_rank: int = DEFAULT_MAX_RANK,
+    seed: int = 42,
+) -> List[T]:
+    """A length-*length* sequence over the first *max_rank* items of
+    *population*, rank 1 being ``population[0]``.
+
+    Raises when the population holds fewer than *max_rank* items so a
+    mis-sized workload fails loudly instead of silently re-weighting.
+    """
+    if len(population) < max_rank:
+        raise ValueError(
+            f"population has {len(population)} items but max_rank={max_rank}"
+        )
+    return [
+        population[rank - 1]
+        for rank in zipf_ranks(length, alpha, max_rank, seed)
+    ]

@@ -1,0 +1,144 @@
+"""XACML attributes: categorised, typed name/value pairs."""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.errors import XacmlError
+
+#: XML-Schema datatype URIs used in policies and requests.
+XS_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XS_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XS_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+XS_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+#: Standard identifier of the subject's identity attribute.
+SUBJECT_ID = "urn:oasis:names:tc:xacml:1.0:subject:subject-id"
+#: Standard identifier of the resource attribute.
+RESOURCE_ID = "urn:oasis:names:tc:xacml:1.0:resource:resource-id"
+#: Standard identifier of the action attribute.
+ACTION_ID = "urn:oasis:names:tc:xacml:1.0:action:action-id"
+
+
+class AttributeCategory(enum.Enum):
+    """The four request-context categories of XACML."""
+
+    SUBJECT = "subject"
+    RESOURCE = "resource"
+    ACTION = "action"
+    ENVIRONMENT = "environment"
+
+
+class AttributeValue:
+    """A typed literal value."""
+
+    __slots__ = ("datatype", "value")
+
+    def __init__(self, datatype: str, value: Union[str, int, float, bool]):
+        self.datatype = datatype
+        self.value = value
+
+    @classmethod
+    def string(cls, value: str) -> "AttributeValue":
+        return cls(XS_STRING, str(value))
+
+    @classmethod
+    def integer(cls, value: int) -> "AttributeValue":
+        return cls(XS_INTEGER, int(value))
+
+    @classmethod
+    def double(cls, value: float) -> "AttributeValue":
+        return cls(XS_DOUBLE, float(value))
+
+    @classmethod
+    def boolean(cls, value: bool) -> "AttributeValue":
+        return cls(XS_BOOLEAN, bool(value))
+
+    @classmethod
+    def infer(cls, value: Union[str, int, float, bool]) -> "AttributeValue":
+        """Build an AttributeValue with the datatype inferred from *value*."""
+        if isinstance(value, bool):
+            return cls.boolean(value)
+        if isinstance(value, int):
+            return cls.integer(value)
+        if isinstance(value, float):
+            return cls.double(value)
+        if isinstance(value, str):
+            return cls.string(value)
+        raise XacmlError(f"cannot infer XACML datatype for {value!r}")
+
+    def serialize(self) -> str:
+        """Render the value as XML text content."""
+        if self.datatype == XS_BOOLEAN:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    @classmethod
+    def parse(cls, datatype: str, text: str) -> "AttributeValue":
+        """Parse XML text content for *datatype*."""
+        if datatype == XS_STRING:
+            return cls(datatype, text)
+        stripped = text.strip()
+        if datatype == XS_INTEGER:
+            try:
+                return cls(datatype, int(stripped))
+            except ValueError:
+                raise XacmlError(f"bad integer attribute value {text!r}") from None
+        if datatype == XS_DOUBLE:
+            try:
+                return cls(datatype, float(stripped))
+            except ValueError:
+                raise XacmlError(f"bad double attribute value {text!r}") from None
+        if datatype == XS_BOOLEAN:
+            if stripped in ("true", "1"):
+                return cls(datatype, True)
+            if stripped in ("false", "0"):
+                return cls(datatype, False)
+            raise XacmlError(f"bad boolean attribute value {text!r}")
+        # Unknown datatypes are preserved as strings (XACML is extensible).
+        return cls(datatype, text)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AttributeValue)
+            and self.datatype == other.datatype
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.datatype, self.value))
+
+    def __repr__(self) -> str:
+        short = self.datatype.rsplit("#", 1)[-1]
+        return f"AttributeValue({short}, {self.value!r})"
+
+
+class Attribute:
+    """A categorised attribute: (category, attribute-id, typed value)."""
+
+    __slots__ = ("category", "attribute_id", "value")
+
+    def __init__(self, category: AttributeCategory, attribute_id: str, value: AttributeValue):
+        if not attribute_id:
+            raise XacmlError("attribute needs a non-empty attribute id")
+        self.category = category
+        self.attribute_id = attribute_id
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.category == other.category
+            and self.attribute_id == other.attribute_id
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.category, self.attribute_id, self.value))
+
+    def __repr__(self) -> str:
+        return (
+            f"Attribute({self.category.value}, {self.attribute_id!r}, "
+            f"{self.value.value!r})"
+        )

@@ -1,0 +1,149 @@
+"""Rule- and policy-combining algorithms."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import XacmlError
+from repro.xacml.request import Request
+from repro.xacml.response import Decision
+
+
+class RuleCombiningAlgorithm:
+    """Named strategy for combining rule decisions within a policy."""
+
+    _registry: Dict[str, "RuleCombiningAlgorithm"] = {}
+
+    def __init__(self, name: str, combine: Callable[[Sequence, Request], Decision]):
+        self.name = name
+        self._combine = combine
+        RuleCombiningAlgorithm._registry[name] = self
+
+    def combine(self, rules: Sequence, request: Request) -> Decision:
+        return self._combine(rules, request)
+
+    @classmethod
+    def get(cls, name: str) -> "RuleCombiningAlgorithm":
+        try:
+            return cls._registry[name]
+        except KeyError:
+            raise XacmlError(f"unknown rule-combining algorithm {name!r}") from None
+
+    @classmethod
+    def names(cls) -> List[str]:
+        return sorted(cls._registry)
+
+    def __repr__(self) -> str:
+        return f"RuleCombiningAlgorithm({self.name!r})"
+
+
+def _first_applicable(rules: Sequence, request: Request) -> Decision:
+    for rule in rules:
+        decision = rule.evaluate(request)
+        if decision is not Decision.NOT_APPLICABLE:
+            return decision
+    return Decision.NOT_APPLICABLE
+
+
+def _permit_overrides(rules: Sequence, request: Request) -> Decision:
+    saw_deny = False
+    for rule in rules:
+        decision = rule.evaluate(request)
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT
+        if decision is Decision.DENY:
+            saw_deny = True
+    return Decision.DENY if saw_deny else Decision.NOT_APPLICABLE
+
+
+def _deny_overrides(rules: Sequence, request: Request) -> Decision:
+    saw_permit = False
+    for rule in rules:
+        decision = rule.evaluate(request)
+        if decision is Decision.DENY:
+            return Decision.DENY
+        if decision is Decision.PERMIT:
+            saw_permit = True
+    return Decision.PERMIT if saw_permit else Decision.NOT_APPLICABLE
+
+
+def _deny_unless_permit(rules: Sequence, request: Request) -> Decision:
+    for rule in rules:
+        if rule.evaluate(request) is Decision.PERMIT:
+            return Decision.PERMIT
+    return Decision.DENY
+
+
+FIRST_APPLICABLE = RuleCombiningAlgorithm("first-applicable", _first_applicable)
+PERMIT_OVERRIDES = RuleCombiningAlgorithm("permit-overrides", _permit_overrides)
+DENY_OVERRIDES = RuleCombiningAlgorithm("deny-overrides", _deny_overrides)
+DENY_UNLESS_PERMIT = RuleCombiningAlgorithm("deny-unless-permit", _deny_unless_permit)
+
+
+class PolicyCombiningAlgorithm:
+    """Strategy for combining decisions of multiple applicable policies.
+
+    The PDP needs one: a request may match several loaded policies.  The
+    result also carries *which* policy decided, because the PEP takes the
+    obligations from the deciding policy (paper Section 2).
+    """
+
+    _registry: Dict[str, "PolicyCombiningAlgorithm"] = {}
+
+    def __init__(self, name: str, combine: Callable[[Sequence, Request], Tuple[Decision, object]]):
+        self.name = name
+        self._combine = combine
+        PolicyCombiningAlgorithm._registry[name] = self
+
+    def combine(self, policies: Sequence, request: Request) -> Tuple[Decision, object]:
+        """Return ``(decision, deciding_policy_or_None)``."""
+        return self._combine(policies, request)
+
+    @classmethod
+    def get(cls, name: str) -> "PolicyCombiningAlgorithm":
+        try:
+            return cls._registry[name]
+        except KeyError:
+            raise XacmlError(f"unknown policy-combining algorithm {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"PolicyCombiningAlgorithm({self.name!r})"
+
+
+def _policy_first_applicable(policies: Sequence, request: Request):
+    for policy in policies:
+        decision = policy.evaluate(request)
+        if decision is not Decision.NOT_APPLICABLE:
+            return decision, policy
+    return Decision.NOT_APPLICABLE, None
+
+
+def _policy_permit_overrides(policies: Sequence, request: Request):
+    denying = None
+    for policy in policies:
+        decision = policy.evaluate(request)
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT, policy
+        if decision is Decision.DENY and denying is None:
+            denying = policy
+    if denying is not None:
+        return Decision.DENY, denying
+    return Decision.NOT_APPLICABLE, None
+
+
+def _policy_deny_overrides(policies: Sequence, request: Request):
+    permitting = None
+    for policy in policies:
+        decision = policy.evaluate(request)
+        if decision is Decision.DENY:
+            return Decision.DENY, policy
+        if decision is Decision.PERMIT and permitting is None:
+            permitting = policy
+    if permitting is not None:
+        return Decision.PERMIT, permitting
+    return Decision.NOT_APPLICABLE, None
+
+
+POLICY_FIRST_APPLICABLE = PolicyCombiningAlgorithm("first-applicable", _policy_first_applicable)
+POLICY_PERMIT_OVERRIDES = PolicyCombiningAlgorithm("permit-overrides", _policy_permit_overrides)
+POLICY_DENY_OVERRIDES = PolicyCombiningAlgorithm("deny-overrides", _policy_deny_overrides)

@@ -1,0 +1,78 @@
+"""Match and comparison functions usable in targets and conditions.
+
+A pragmatic subset of the XACML function library: equality for every
+datatype, ordered comparisons for numbers, and a regular-expression match
+for strings.  Functions are registered by their (shortened) ids so
+policies serialise with recognisable names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+from repro.errors import XacmlError
+from repro.xacml.attributes import AttributeValue
+
+#: function-id → implementation taking (request_value, policy_value).
+FUNCTIONS: Dict[str, Callable[[object, object], bool]] = {}
+
+
+def register_function(function_id: str, implementation: Callable[[object, object], bool]) -> None:
+    FUNCTIONS[function_id] = implementation
+
+
+def get_function(function_id: str) -> Callable[[object, object], bool]:
+    try:
+        return FUNCTIONS[function_id]
+    except KeyError:
+        raise XacmlError(f"unknown XACML function {function_id!r}") from None
+
+
+def apply_function(function_id: str, request_value: AttributeValue, policy_value: AttributeValue) -> bool:
+    """Apply *function_id* to a request value and a policy value."""
+    implementation = get_function(function_id)
+    try:
+        return bool(implementation(request_value.value, policy_value.value))
+    except TypeError:
+        # Type mismatch (e.g. comparing a string with a number) means the
+        # match simply fails — XACML treats this as Indeterminate at the
+        # match level, which our PDP folds into "no match".
+        return False
+
+
+STRING_EQUAL = "string-equal"
+STRING_REGEXP_MATCH = "string-regexp-match"
+INTEGER_EQUAL = "integer-equal"
+DOUBLE_EQUAL = "double-equal"
+BOOLEAN_EQUAL = "boolean-equal"
+INTEGER_GREATER_THAN = "integer-greater-than"
+INTEGER_GREATER_THAN_OR_EQUAL = "integer-greater-than-or-equal"
+INTEGER_LESS_THAN = "integer-less-than"
+INTEGER_LESS_THAN_OR_EQUAL = "integer-less-than-or-equal"
+DOUBLE_GREATER_THAN = "double-greater-than"
+DOUBLE_GREATER_THAN_OR_EQUAL = "double-greater-than-or-equal"
+DOUBLE_LESS_THAN = "double-less-than"
+DOUBLE_LESS_THAN_OR_EQUAL = "double-less-than-or-equal"
+
+
+def _regexp_match(request_value, policy_value) -> bool:
+    return re.fullmatch(str(policy_value), str(request_value)) is not None
+
+
+for _fid, _impl in {
+    STRING_EQUAL: lambda a, b: str(a) == str(b),
+    STRING_REGEXP_MATCH: _regexp_match,
+    INTEGER_EQUAL: lambda a, b: int(a) == int(b),
+    DOUBLE_EQUAL: lambda a, b: float(a) == float(b),
+    BOOLEAN_EQUAL: lambda a, b: bool(a) == bool(b),
+    INTEGER_GREATER_THAN: lambda a, b: a > b,
+    INTEGER_GREATER_THAN_OR_EQUAL: lambda a, b: a >= b,
+    INTEGER_LESS_THAN: lambda a, b: a < b,
+    INTEGER_LESS_THAN_OR_EQUAL: lambda a, b: a <= b,
+    DOUBLE_GREATER_THAN: lambda a, b: a > b,
+    DOUBLE_GREATER_THAN_OR_EQUAL: lambda a, b: a >= b,
+    DOUBLE_LESS_THAN: lambda a, b: a < b,
+    DOUBLE_LESS_THAN_OR_EQUAL: lambda a, b: a <= b,
+}.items():
+    register_function(_fid, _impl)

@@ -1,0 +1,46 @@
+"""The Policy Decision Point.
+
+"The PDP manages policies and evaluates user requests against the stored
+policies, the result of which are permit or deny decisions ... In
+addition to permit/deny decision, the PDP also returns a set of
+obligations to the PEP." (paper Section 2.1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xacml.combining import PolicyCombiningAlgorithm
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Response
+from repro.xacml.store import PolicyStore
+
+
+class PolicyDecisionPoint:
+    """Evaluates requests against a :class:`PolicyStore`."""
+
+    def __init__(
+        self,
+        store: Optional[PolicyStore] = None,
+        combining: str = "first-applicable",
+    ):
+        self.store = store if store is not None else PolicyStore()
+        self.combining = combining
+        #: Number of evaluations performed (exported to the benchmarks).
+        self.evaluations = 0
+
+    def evaluate(self, request: Request) -> Response:
+        """Evaluate *request*; return decision + deciding policy's obligations."""
+        self.evaluations += 1
+        algorithm = PolicyCombiningAlgorithm.get(self.combining)
+        decision, policy = algorithm.combine(self.store.policies(), request)
+        if policy is None:
+            return Response(
+                Decision.NOT_APPLICABLE,
+                status_message="no applicable policy",
+            )
+        return Response(
+            decision,
+            obligations=policy.obligations_for(decision),
+            policy_id=policy.policy_id,
+        )

@@ -1,0 +1,224 @@
+"""Policies, targets, rules and conditions."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import XacmlError
+from repro.xacml.attributes import (
+    ACTION_ID,
+    RESOURCE_ID,
+    SUBJECT_ID,
+    Attribute,
+    AttributeCategory,
+    AttributeValue,
+)
+from repro.xacml.functions import STRING_EQUAL, apply_function
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Effect, Obligation
+
+
+class Match:
+    """One target match: request attribute vs. a policy literal."""
+
+    __slots__ = ("category", "attribute_id", "function_id", "value")
+
+    def __init__(
+        self,
+        category: AttributeCategory,
+        attribute_id: str,
+        value: AttributeValue,
+        function_id: str = STRING_EQUAL,
+    ):
+        self.category = category
+        self.attribute_id = attribute_id
+        self.function_id = function_id
+        self.value = value
+
+    def matches(self, request: Request) -> bool:
+        """True when *any* request value for the attribute matches."""
+        values = request.values_of(self.category, self.attribute_id)
+        return any(
+            apply_function(self.function_id, value, self.value) for value in values
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Match({self.category.value}:{self.attribute_id} "
+            f"{self.function_id} {self.value.value!r})"
+        )
+
+
+class Target:
+    """A target: conjunction over categories, disjunction within.
+
+    Each of ``subjects`` / ``resources`` / ``actions`` is a list of
+    *alternatives*; an alternative is a list of :class:`Match` that must
+    all hold (AllOf).  The category matches when any alternative holds
+    (AnyOf).  An empty category list matches everything — the standard
+    XACML "any" semantics.
+    """
+
+    def __init__(
+        self,
+        subjects: Sequence[Sequence[Match]] = (),
+        resources: Sequence[Sequence[Match]] = (),
+        actions: Sequence[Sequence[Match]] = (),
+    ):
+        self.subjects = [list(alternative) for alternative in subjects]
+        self.resources = [list(alternative) for alternative in resources]
+        self.actions = [list(alternative) for alternative in actions]
+
+    @classmethod
+    def for_ids(
+        cls,
+        subject: Optional[str] = None,
+        resource: Optional[str] = None,
+        action: Optional[str] = None,
+    ) -> "Target":
+        """Target matching specific subject-id/resource-id/action-id values."""
+
+        def single(category: AttributeCategory, attribute_id: str, value: str):
+            return [[Match(category, attribute_id, AttributeValue.string(value))]]
+
+        return cls(
+            subjects=single(AttributeCategory.SUBJECT, SUBJECT_ID, subject) if subject else (),
+            resources=single(AttributeCategory.RESOURCE, RESOURCE_ID, resource) if resource else (),
+            actions=single(AttributeCategory.ACTION, ACTION_ID, action) if action else (),
+        )
+
+    def matches(self, request: Request) -> bool:
+        for alternatives in (self.subjects, self.resources, self.actions):
+            if not alternatives:
+                continue
+            if not any(
+                all(match.matches(request) for match in alternative)
+                for alternative in alternatives
+            ):
+                return False
+        return True
+
+    @property
+    def is_any(self) -> bool:
+        return not (self.subjects or self.resources or self.actions)
+
+    def __repr__(self) -> str:
+        return (
+            f"Target(subjects={len(self.subjects)}, resources={len(self.resources)}, "
+            f"actions={len(self.actions)})"
+        )
+
+
+class Condition:
+    """A rule condition: one function applied to a request attribute.
+
+    XACML conditions are arbitrary ``<Apply>`` trees; the paper's policies
+    only ever gate rules on single attribute comparisons (and usually have
+    no condition at all), so a single comparison captures the needed
+    expressiveness while keeping evaluation transparent.
+    """
+
+    __slots__ = ("category", "attribute_id", "function_id", "value")
+
+    def __init__(
+        self,
+        category: AttributeCategory,
+        attribute_id: str,
+        function_id: str,
+        value: AttributeValue,
+    ):
+        self.category = category
+        self.attribute_id = attribute_id
+        self.function_id = function_id
+        self.value = value
+
+    def evaluate(self, request: Request) -> bool:
+        values = request.values_of(self.category, self.attribute_id)
+        return any(
+            apply_function(self.function_id, value, self.value) for value in values
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Condition({self.category.value}:{self.attribute_id} "
+            f"{self.function_id} {self.value.value!r})"
+        )
+
+
+class Rule:
+    """A rule: target + optional condition → effect."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        effect: Effect,
+        target: Optional[Target] = None,
+        condition: Optional[Condition] = None,
+        description: str = "",
+    ):
+        if not rule_id:
+            raise XacmlError("rule needs a rule id")
+        self.rule_id = rule_id
+        self.effect = effect
+        self.target = target or Target()
+        self.condition = condition
+        self.description = description
+
+    def evaluate(self, request: Request) -> Decision:
+        if not self.target.matches(request):
+            return Decision.NOT_APPLICABLE
+        if self.condition is not None and not self.condition.evaluate(request):
+            return Decision.NOT_APPLICABLE
+        return self.effect.decision
+
+    def __repr__(self) -> str:
+        return f"Rule({self.rule_id!r}, {self.effect.value})"
+
+
+class Policy:
+    """A policy: target, rules under a combining algorithm, obligations."""
+
+    def __init__(
+        self,
+        policy_id: str,
+        target: Optional[Target] = None,
+        rules: Iterable[Rule] = (),
+        rule_combining: str = "first-applicable",
+        obligations: Iterable[Obligation] = (),
+        description: str = "",
+    ):
+        if not policy_id:
+            raise XacmlError("policy needs a policy id")
+        self.policy_id = policy_id
+        self.target = target or Target()
+        self.rules: List[Rule] = list(rules)
+        if not self.rules:
+            raise XacmlError(f"policy {policy_id!r} has no rules")
+        self.rule_combining = rule_combining
+        self.obligations: Tuple[Obligation, ...] = tuple(obligations)
+        self.description = description
+
+    def evaluate(self, request: Request) -> Decision:
+        """Evaluate this policy alone (target, then combined rules)."""
+        from repro.xacml.combining import RuleCombiningAlgorithm
+
+        if not self.target.matches(request):
+            return Decision.NOT_APPLICABLE
+        algorithm = RuleCombiningAlgorithm.get(self.rule_combining)
+        return algorithm.combine(self.rules, request)
+
+    def obligations_for(self, decision: Decision) -> List[Obligation]:
+        """The obligations whose FulfillOn matches *decision*."""
+        if decision not in (Decision.PERMIT, Decision.DENY):
+            return []
+        return [
+            obligation
+            for obligation in self.obligations
+            if obligation.fulfill_on.decision is decision
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Policy({self.policy_id!r}, rules={len(self.rules)}, "
+            f"obligations={len(self.obligations)})"
+        )

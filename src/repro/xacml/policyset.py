@@ -1,0 +1,132 @@
+"""Policy sets: hierarchical grouping of policies (XACML standard).
+
+A :class:`PolicySet` carries its own target, a policy-combining algorithm
+and an ordered list of children (policies or nested policy sets).  Data
+owners use them to organise per-stream policies — e.g. one set per agency
+with ``deny-overrides`` between an organisation-wide deny rule and the
+per-consumer permits.
+
+Policy sets evaluate to ``(decision, deciding_policy)``; the deciding
+*leaf policy* is what the PEP needs, because obligations are taken from
+it (a set's own obligations are additionally appended, per the XACML
+obligation-accumulation semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.errors import XacmlError
+from repro.xacml.combining import PolicyCombiningAlgorithm
+from repro.xacml.policy import Policy, Target
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Obligation
+
+Child = Union[Policy, "PolicySet"]
+
+
+class PolicySet:
+    """A target-gated, combining-algorithm-governed group of policies."""
+
+    def __init__(
+        self,
+        policy_set_id: str,
+        target: Optional[Target] = None,
+        children: Iterable[Child] = (),
+        policy_combining: str = "first-applicable",
+        obligations: Iterable[Obligation] = (),
+        description: str = "",
+    ):
+        if not policy_set_id:
+            raise XacmlError("policy set needs an id")
+        self.policy_set_id = policy_set_id
+        self.target = target or Target()
+        self.children: List[Child] = list(children)
+        if not self.children:
+            raise XacmlError(f"policy set {policy_set_id!r} has no children")
+        self.policy_combining = policy_combining
+        self.obligations: Tuple[Obligation, ...] = tuple(obligations)
+        self.description = description
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, request: Request) -> Decision:
+        """Decision only (mirrors :meth:`Policy.evaluate`)."""
+        decision, _ = self.evaluate_with_policy(request)
+        return decision
+
+    def evaluate_with_policy(self, request: Request):
+        """Return ``(decision, deciding_leaf_policy_or_None)``."""
+        if not self.target.matches(request):
+            return Decision.NOT_APPLICABLE, None
+        algorithm = PolicyCombiningAlgorithm.get(self.policy_combining)
+        decision, child = algorithm.combine(self.children, request)
+        if isinstance(child, PolicySet):
+            # The combining algorithm calls child.evaluate(); resolve the
+            # actual deciding leaf by descending again.
+            _, leaf = child.evaluate_with_policy(request)
+            return decision, leaf
+        return decision, child
+
+    # -- obligation accumulation ------------------------------------------------------
+
+    def obligations_for(self, decision: Decision) -> List[Obligation]:
+        """This set's own obligations matching *decision*."""
+        if decision not in (Decision.PERMIT, Decision.DENY):
+            return []
+        return [
+            obligation
+            for obligation in self.obligations
+            if obligation.fulfill_on.decision is decision
+        ]
+
+    def accumulated_obligations(
+        self, request: Request
+    ) -> Tuple[Decision, List[Obligation]]:
+        """Evaluate and collect obligations along the deciding path.
+
+        XACML semantics: the obligations of every PolicySet/Policy on the
+        path to the deciding rule apply, outermost first.
+        """
+        decision, leaf = self.evaluate_with_policy(request)
+        if leaf is None:
+            return decision, []
+        obligations = list(self.obligations_for(decision))
+        obligations.extend(self._path_obligations(leaf, request, decision))
+        return decision, obligations
+
+    def _path_obligations(self, leaf: Policy, request: Request, decision: Decision):
+        for child in self.children:
+            if child is leaf:
+                return list(leaf.obligations_for(decision))
+            if isinstance(child, PolicySet) and child._contains(leaf):
+                inner = list(child.obligations_for(decision))
+                inner.extend(child._path_obligations(leaf, request, decision))
+                return inner
+        return []
+
+    def _contains(self, leaf: Policy) -> bool:
+        for child in self.children:
+            if child is leaf:
+                return True
+            if isinstance(child, PolicySet) and child._contains(leaf):
+                return True
+        return False
+
+    # -- management ---------------------------------------------------------------------
+
+    def flatten(self) -> List[Policy]:
+        """All leaf policies, document order."""
+        leaves: List[Policy] = []
+        for child in self.children:
+            if isinstance(child, PolicySet):
+                leaves.extend(child.flatten())
+            else:
+                leaves.append(child)
+        return leaves
+
+    def __repr__(self) -> str:
+        return (
+            f"PolicySet({self.policy_set_id!r}, children={len(self.children)}, "
+            f"combining={self.policy_combining!r})"
+        )

@@ -1,0 +1,107 @@
+"""XACML request contexts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import XacmlError
+from repro.xacml.attributes import (
+    ACTION_ID,
+    RESOURCE_ID,
+    SUBJECT_ID,
+    Attribute,
+    AttributeCategory,
+    AttributeValue,
+)
+
+
+class Request:
+    """An access request: attributes grouped by category.
+
+    In eXACML+ a request carries the user's credentials (subject
+    attributes), the target data stream (resource-id) and the action
+    (normally ``read``); the customised query travels alongside the
+    request, not inside it.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute] = ()):
+        self._by_category: Dict[AttributeCategory, List[Attribute]] = {
+            category: [] for category in AttributeCategory
+        }
+        for attribute in attributes:
+            self.add(attribute)
+
+    @classmethod
+    def simple(
+        cls,
+        subject: str,
+        resource: str,
+        action: str = "read",
+        environment: Optional[Dict[str, object]] = None,
+    ) -> "Request":
+        """Convenience constructor for the common subject/resource/action shape."""
+        request = cls()
+        request.add(Attribute(AttributeCategory.SUBJECT, SUBJECT_ID, AttributeValue.string(subject)))
+        request.add(Attribute(AttributeCategory.RESOURCE, RESOURCE_ID, AttributeValue.string(resource)))
+        request.add(Attribute(AttributeCategory.ACTION, ACTION_ID, AttributeValue.string(action)))
+        for attribute_id, value in (environment or {}).items():
+            request.add(
+                Attribute(
+                    AttributeCategory.ENVIRONMENT,
+                    attribute_id,
+                    AttributeValue.infer(value),
+                )
+            )
+        return request
+
+    def add(self, attribute: Attribute) -> None:
+        self._by_category[attribute.category].append(attribute)
+
+    def attributes(self, category: AttributeCategory) -> List[Attribute]:
+        return list(self._by_category[category])
+
+    def all_attributes(self) -> List[Attribute]:
+        result: List[Attribute] = []
+        for category in AttributeCategory:
+            result.extend(self._by_category[category])
+        return result
+
+    def values_of(self, category: AttributeCategory, attribute_id: str) -> List[AttributeValue]:
+        """All values bound to *attribute_id* in *category* (may be many)."""
+        return [
+            attribute.value
+            for attribute in self._by_category[category]
+            if attribute.attribute_id == attribute_id
+        ]
+
+    def first_value(self, category: AttributeCategory, attribute_id: str):
+        """The first raw value bound to *attribute_id*, or None."""
+        values = self.values_of(category, attribute_id)
+        return values[0].value if values else None
+
+    @property
+    def subject_id(self) -> Optional[str]:
+        value = self.first_value(AttributeCategory.SUBJECT, SUBJECT_ID)
+        return None if value is None else str(value)
+
+    @property
+    def resource_id(self) -> Optional[str]:
+        value = self.first_value(AttributeCategory.RESOURCE, RESOURCE_ID)
+        return None if value is None else str(value)
+
+    @property
+    def action_id(self) -> Optional[str]:
+        value = self.first_value(AttributeCategory.ACTION, ACTION_ID)
+        return None if value is None else str(value)
+
+    def require_subject(self) -> str:
+        subject = self.subject_id
+        if subject is None:
+            raise XacmlError("request has no subject-id attribute")
+        return subject
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(subject={self.subject_id!r}, resource={self.resource_id!r}, "
+            f"action={self.action_id!r})"
+        )

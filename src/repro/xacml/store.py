@@ -1,0 +1,71 @@
+"""The policy store: loaded policies, keyed by policy id.
+
+The data server "keeps track of policies loaded" (paper Section 3.3);
+removal and update are first-class operations because they trigger
+revocation of spawned query graphs.  The store supports change listeners
+so the query-graph manager can react to policy removal/modification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import PolicyStoreError
+from repro.xacml.policy import Policy
+
+#: Signature of change listeners: (event, policy) with event in
+#: {"loaded", "removed", "updated"}.
+ChangeListener = Callable[[str, Policy], None]
+
+
+class PolicyStore:
+    """An in-memory, observable collection of policies."""
+
+    def __init__(self):
+        self._policies: Dict[str, Policy] = {}
+        self._listeners: List[ChangeListener] = []
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, policy: Policy) -> None:
+        for listener in list(self._listeners):
+            listener(event, policy)
+
+    def load(self, policy: Policy) -> None:
+        """Load a new policy; duplicate ids are rejected (use update)."""
+        if policy.policy_id in self._policies:
+            raise PolicyStoreError(f"policy {policy.policy_id!r} is already loaded")
+        self._policies[policy.policy_id] = policy
+        self._notify("loaded", policy)
+
+    def update(self, policy: Policy) -> None:
+        """Replace a loaded policy with a new version.
+
+        Section 3.3: modifying a policy immediately withdraws every query
+        graph spawned from it — listeners implement that reaction.
+        """
+        if policy.policy_id not in self._policies:
+            raise PolicyStoreError(f"policy {policy.policy_id!r} is not loaded")
+        self._policies[policy.policy_id] = policy
+        self._notify("updated", policy)
+
+    def remove(self, policy_id: str) -> Policy:
+        if policy_id not in self._policies:
+            raise PolicyStoreError(f"policy {policy_id!r} is not loaded")
+        policy = self._policies.pop(policy_id)
+        self._notify("removed", policy)
+        return policy
+
+    def get(self, policy_id: str) -> Optional[Policy]:
+        return self._policies.get(policy_id)
+
+    def policies(self) -> List[Policy]:
+        """All loaded policies, in load order."""
+        return list(self._policies.values())
+
+    def __contains__(self, policy_id: str) -> bool:
+        return policy_id in self._policies
+
+    def __len__(self) -> int:
+        return len(self._policies)

@@ -1,0 +1,79 @@
+"""Shared fixtures for the eXACML+ reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UserQuery, XacmlPlusInstance, stream_policy
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.streams.sources import WeatherSource
+
+
+@pytest.fixture
+def weather_schema():
+    return WEATHER_SCHEMA
+
+
+@pytest.fixture
+def weather_records():
+    """300 seeded weather records (plenty of rainy tuples)."""
+    return WeatherSource(seed=3).records(300)
+
+
+def build_nea_policy_graph() -> QueryGraph:
+    """The paper's Example 1 policy graph (Figure 1)."""
+    graph = QueryGraph("weather", name="nea-policy")
+    graph.append(FilterOperator("rainrate > 5"))
+    graph.append(MapOperator(["samplingtime", "rainrate", "windspeed"]))
+    graph.append(
+        AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 5, 2),
+            [
+                AggregationSpec.parse("samplingtime:lastval"),
+                AggregationSpec.parse("rainrate:avg"),
+                AggregationSpec.parse("windspeed:max"),
+            ],
+        )
+    )
+    return graph
+
+
+def build_lta_user_query() -> UserQuery:
+    """The paper's Figure 4(a) customised query."""
+    return UserQuery(
+        "weather",
+        filter_condition="RainRate > 50",
+        map_attributes=["RainRate"],
+        window=WindowSpec(WindowType.TUPLE, 10, 2),
+        aggregations=["avg(RainRate)"],
+    )
+
+
+@pytest.fixture
+def nea_policy_graph():
+    return build_nea_policy_graph()
+
+
+@pytest.fixture
+def lta_user_query():
+    return build_lta_user_query()
+
+
+@pytest.fixture
+def nea_instance(nea_policy_graph):
+    """An XACML+ instance with the weather stream and Example 1 policy."""
+    instance = XacmlPlusInstance(allow_partial_results=True)
+    instance.engine.register_input_stream("weather", WEATHER_SCHEMA)
+    instance.load_policy(
+        stream_policy("nea:weather:lta", "weather", nea_policy_graph, subject="LTA")
+    )
+    return instance

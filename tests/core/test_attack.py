@@ -1,0 +1,97 @@
+"""Tests for the Section 3.4 multi-window reconstruction attack."""
+
+import pytest
+
+from repro.core.attack import (
+    MultiWindowAttack,
+    reconstruct_from_windows,
+)
+from repro.errors import ConcurrentAccessError, ReproError
+
+
+def sum_windows(values, size, step):
+    """Brute-force sum-aggregation oracle: windows [k·step, k·step+size)."""
+    outputs = []
+    k = 0
+    while k * step + size <= len(values):
+        outputs.append(sum(values[k * step: k * step + size]))
+        k += 1
+    return outputs
+
+
+class TestReconstructionArithmetic:
+    def test_paper_example2(self):
+        """Sizes 3, 4, 5, step 2 recover a3, a4, a5, ..."""
+        values = list(range(40))
+        streams = [sum_windows(values, size, 2) for size in (3, 4, 5)]
+        recovered = reconstruct_from_windows(streams, base_size=3, step=2)
+        assert recovered  # non-empty
+        for index, value in recovered.items():
+            assert value == values[index]
+        assert min(recovered) == 3
+        # Everything from a3 to the horizon is contiguous.
+        indices = sorted(recovered)
+        assert indices == list(range(indices[0], indices[-1] + 1))
+
+    def test_general_parameters(self):
+        """The paper's induction: sizes N..N+M, step M, recover from a_N."""
+        values = [v * 7 - 3 for v in range(60)]
+        for base, step in ((4, 3), (5, 1), (2, 4)):
+            streams = [
+                sum_windows(values, base + extra, step)
+                for extra in range(step + 1)
+            ]
+            recovered = reconstruct_from_windows(streams, base, step)
+            for index, value in recovered.items():
+                assert value == values[index], (base, step, index)
+            assert min(recovered) == base
+
+    def test_wrong_stream_count_rejected(self):
+        values = list(range(20))
+        streams = [sum_windows(values, size, 2) for size in (3, 4)]
+        with pytest.raises(ReproError):
+            reconstruct_from_windows(streams, base_size=3, step=2)
+
+    def test_float_values(self):
+        values = [v * 0.25 for v in range(30)]
+        streams = [sum_windows(values, size, 2) for size in (3, 4, 5)]
+        recovered = reconstruct_from_windows(streams, 3, 2)
+        for index, value in recovered.items():
+            assert value == pytest.approx(values[index])
+
+
+class TestEndToEndAttack:
+    def test_attack_succeeds_without_guard(self):
+        victim = MultiWindowAttack.build_victim_instance(enforce_single_access=False)
+        attack = MultiWindowAttack(victim)
+        values = list(range(50))
+        recovered = attack.run(values)
+        assert len(recovered) >= 40
+        for index, value in recovered.items():
+            assert value == values[index]
+
+    def test_attack_blocked_with_guard(self):
+        victim = MultiWindowAttack.build_victim_instance(enforce_single_access=True)
+        attack = MultiWindowAttack(victim)
+        assert attack.is_blocked()
+
+    def test_guard_raises_on_full_run(self):
+        victim = MultiWindowAttack.build_victim_instance(enforce_single_access=True)
+        attack = MultiWindowAttack(victim)
+        with pytest.raises(ConcurrentAccessError):
+            attack.run(list(range(50)))
+
+    def test_unguarded_instance_reports_not_blocked(self):
+        victim = MultiWindowAttack.build_victim_instance(enforce_single_access=False)
+        assert not MultiWindowAttack(victim).is_blocked()
+
+    def test_attack_with_different_geometry(self):
+        victim = MultiWindowAttack.build_victim_instance(
+            enforce_single_access=False, base_size=4, step=3
+        )
+        attack = MultiWindowAttack(victim, base_size=4, step=3)
+        values = list(range(60))
+        recovered = attack.run(values)
+        assert recovered
+        for index, value in recovered.items():
+            assert value == values[index]

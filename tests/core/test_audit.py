@@ -1,0 +1,152 @@
+"""Tests for the accountability audit log (paper future work, Section 6)."""
+
+import json
+
+import pytest
+
+from repro.core.audit import GENESIS, AuditedXacmlPlus, AuditLog
+from repro.core import UserQuery, XacmlPlusInstance, stream_policy
+from repro.errors import (
+    AccessDeniedError,
+    ConcurrentAccessError,
+    EmptyResultWarning,
+)
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import FilterOperator
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.xacml.request import Request
+
+
+class TestAuditLog:
+    def test_chain_starts_at_genesis(self):
+        log = AuditLog()
+        entry = log.record("decision", "u", "s", decision="Permit")
+        assert entry.previous_hash == GENESIS
+        assert entry.sequence == 1
+
+    def test_chain_links(self):
+        log = AuditLog()
+        first = log.record("a")
+        second = log.record("b")
+        assert second.previous_hash == first.entry_hash
+        assert log.verify_chain()
+
+    def test_tampering_detected_value(self):
+        log = AuditLog()
+        log.record("decision", "u", "s", decision="Permit")
+        log.record("grant", "u", "s", handle="stream://h/q1")
+        forged = log._entries[0]._replace(detail={"decision": "Deny"})
+        log._entries[0] = forged
+        assert not log.verify_chain()
+
+    def test_tampering_detected_removal(self):
+        log = AuditLog()
+        for kind in ("a", "b", "c"):
+            log.record(kind)
+        del log._entries[1]
+        assert not log.verify_chain()
+
+    def test_tampering_detected_reorder(self):
+        log = AuditLog()
+        log.record("a")
+        log.record("b")
+        log._entries.reverse()
+        assert not log.verify_chain()
+
+    def test_filtering(self):
+        log = AuditLog()
+        log.record("decision", "u1", "s1")
+        log.record("decision", "u2", "s1")
+        log.record("grant", "u1", "s2")
+        assert len(log.entries(kind="decision")) == 2
+        assert len(log.entries(subject="u1")) == 2
+        assert len(log.entries(kind="grant", subject="u1")) == 1
+        assert len(log.entries(resource="s1")) == 2
+
+    def test_export_import_round_trip(self):
+        log = AuditLog()
+        log.record("decision", "u", "s", decision="Permit")
+        log.record("grant", "u", "s", handle="stream://h/q1")
+        loaded = AuditLog.import_json(log.export_json())
+        assert len(loaded) == 2
+        assert loaded.verify_chain()
+
+    def test_imported_tampered_log_fails(self):
+        log = AuditLog()
+        log.record("decision", "u", "s", decision="Permit")
+        records = json.loads(log.export_json())
+        records[0]["detail"]["decision"] = "Deny"
+        loaded = AuditLog.import_json(json.dumps(records))
+        assert not loaded.verify_chain()
+
+
+def make_audited():
+    instance = XacmlPlusInstance()
+    instance.engine.register_input_stream("weather", WEATHER_SCHEMA)
+    audited = AuditedXacmlPlus(instance)
+    graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+    audited.load_policy(stream_policy("p1", "weather", graph, subject="LTA"))
+    return audited
+
+
+class TestAuditedInstance:
+    def test_policy_load_recorded(self):
+        audited = make_audited()
+        events = audited.log.entries(kind="policy-loaded")
+        assert len(events) == 1
+        assert events[0].detail["policy_id"] == "p1"
+
+    def test_grant_records_decision_and_sql(self):
+        audited = make_audited()
+        result = audited.request_stream(Request.simple("LTA", "weather"))
+        decisions = audited.log.entries(kind="decision", subject="LTA")
+        grants = audited.log.entries(kind="grant", subject="LTA")
+        assert decisions[0].detail["decision"] == "Permit"
+        assert grants[0].detail["handle"] == result.handle.uri
+        assert "WHERE rainrate > 5" in grants[0].detail["streamsql"]
+        assert audited.log.verify_chain()
+
+    def test_denial_recorded(self):
+        audited = make_audited()
+        with pytest.raises(AccessDeniedError):
+            audited.request_stream(Request.simple("nobody", "weather"))
+        decisions = audited.log.entries(kind="decision", subject="nobody")
+        assert decisions[0].detail["decision"] == "NotApplicable"
+
+    def test_nr_warning_recorded(self):
+        audited = make_audited()
+        with pytest.raises(EmptyResultWarning):
+            audited.request_stream(
+                Request.simple("LTA", "weather"),
+                UserQuery("weather", filter_condition="rainrate < 2"),
+            )
+        warnings = audited.log.entries(kind="warning", subject="LTA")
+        assert warnings[0].detail["warning_kind"] == "NR"
+
+    def test_concurrent_recorded(self):
+        audited = make_audited()
+        audited.request_stream(Request.simple("LTA", "weather"))
+        with pytest.raises(ConcurrentAccessError):
+            audited.request_stream(Request.simple("LTA", "weather"))
+        warnings = audited.log.entries(kind="warning", subject="LTA")
+        assert warnings[0].detail["warning_kind"] == "concurrent-access"
+
+    def test_revocation_recorded_on_remove(self):
+        audited = make_audited()
+        result = audited.request_stream(Request.simple("LTA", "weather"))
+        audited.remove_policy("p1")
+        revocations = audited.log.entries(kind="revocation")
+        assert revocations[0].detail["detail_handle"] == result.handle.uri
+        assert audited.log.entries(kind="policy-removed")
+        assert audited.log.verify_chain()
+
+    def test_release_recorded(self):
+        audited = make_audited()
+        result = audited.request_stream(Request.simple("LTA", "weather"))
+        audited.release_stream(result.handle)
+        assert audited.log.entries(kind="release")
+
+    def test_wrapper_delegates(self):
+        audited = make_audited()
+        assert audited.engine is audited.instance.engine
+        assert len(audited.store) == 1

@@ -1,0 +1,120 @@
+"""Tests for customised user queries (Figure 4(a))."""
+
+import pytest
+
+from repro.core.user_query import UserQuery
+from repro.errors import PolicyParseError
+from repro.streams.operators import WindowSpec, WindowType
+
+#: The paper's Figure 4(a) document (typos normalised).
+FIGURE_4A = """
+<UserQuery>
+  <Stream name="weather" />
+  <Filter>
+    <FilterCondition>
+      RainRate > 50
+    </FilterCondition>
+  </Filter>
+  <Map>
+    <Attribute>RainRate</Attribute>
+  </Map>
+  <Aggregation>
+    <WindowType>tuple</WindowType>
+    <WindowSize>10</WindowSize>
+    <WindowStep>2</WindowStep>
+    <Attribute>avg(RainRate)</Attribute>
+  </Aggregation>
+</UserQuery>
+"""
+
+
+class TestParseFigure4a:
+    def test_parses(self):
+        query = UserQuery.from_xml(FIGURE_4A)
+        assert query.stream == "weather"
+        assert query.filter_condition.to_condition_string() == "rainrate > 50"
+        assert query.map_attributes == ("RainRate",)
+        assert query.window == WindowSpec(WindowType.TUPLE, 10, 2)
+        assert [s.to_obligation_value() for s in query.aggregations] == ["rainrate:avg"]
+
+    def test_to_query_graph(self):
+        graph = UserQuery.from_xml(FIGURE_4A).to_query_graph()
+        assert [op.kind for op in graph.operators] == ["filter", "map", "aggregate"]
+        assert graph.source == "weather"
+
+    def test_xml_round_trip(self):
+        query = UserQuery.from_xml(FIGURE_4A)
+        again = UserQuery.from_xml(query.to_xml())
+        assert again.stream == query.stream
+        assert (
+            again.filter_condition.to_condition_string()
+            == query.filter_condition.to_condition_string()
+        )
+        assert again.window == query.window
+        assert again.aggregations == query.aggregations
+
+
+class TestConstruction:
+    def test_empty_query(self):
+        query = UserQuery("weather")
+        assert query.is_empty
+        assert query.to_query_graph().is_passthrough
+
+    def test_string_condition_parsed(self):
+        query = UserQuery("weather", filter_condition="rainrate > 5")
+        assert query.filter_condition.to_condition_string() == "rainrate > 5"
+
+    def test_aggregation_needs_window_and_specs(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery("weather", window=WindowSpec(WindowType.TUPLE, 5, 2))
+        with pytest.raises(PolicyParseError):
+            UserQuery("weather", aggregations=["avg(rainrate)"])
+
+    def test_needs_stream(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery("")
+
+
+class TestParseErrors:
+    def test_not_xml(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml("nope")
+
+    def test_wrong_root(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml("<Query/>")
+
+    def test_missing_stream(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml("<UserQuery><Filter><FilterCondition>a > 1</FilterCondition></Filter></UserQuery>")
+
+    def test_empty_filter(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml(
+                "<UserQuery><Stream name='s'/><Filter></Filter></UserQuery>"
+            )
+
+    def test_empty_map(self):
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml(
+                "<UserQuery><Stream name='s'/><Map></Map></UserQuery>"
+            )
+
+    def test_aggregation_missing_size(self):
+        bad = (
+            "<UserQuery><Stream name='s'/><Aggregation>"
+            "<WindowType>tuple</WindowType><WindowStep>2</WindowStep>"
+            "<Attribute>avg(x)</Attribute></Aggregation></UserQuery>"
+        )
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml(bad)
+
+    def test_aggregation_non_integer_size(self):
+        bad = (
+            "<UserQuery><Stream name='s'/><Aggregation>"
+            "<WindowType>tuple</WindowType><WindowSize>big</WindowSize>"
+            "<WindowStep>2</WindowStep>"
+            "<Attribute>avg(x)</Attribute></Aggregation></UserQuery>"
+        )
+        with pytest.raises(PolicyParseError):
+            UserQuery.from_xml(bad)

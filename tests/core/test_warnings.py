@@ -1,0 +1,173 @@
+"""Tests for NR/PR warning detection (Section 3.5)."""
+
+import pytest
+
+from repro.core.warnings_check import (
+    check_aggregate_merge,
+    check_filter_merge,
+    check_map_merge,
+    check_query_against_policy,
+)
+from repro.expr.satisfiability import PairVerdict
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+
+
+def aggregate(size=5, step=2, window_type=WindowType.TUPLE, specs=("a:avg",)):
+    return AggregateOperator(
+        WindowSpec(window_type, size, step),
+        [AggregationSpec.parse(s) for s in specs],
+    )
+
+
+class TestMapRules:
+    def test_disjoint_nr(self):
+        report = check_map_merge(MapOperator(["a"]), MapOperator(["b"]))
+        assert report.verdict is PairVerdict.NR
+
+    def test_differing_pr(self):
+        report = check_map_merge(MapOperator(["a", "b"]), MapOperator(["a"]))
+        assert report.verdict is PairVerdict.PR
+
+    def test_equal_ok(self):
+        assert check_map_merge(MapOperator(["a", "b"]), MapOperator(["b", "a"])) is None
+
+    def test_policy_only_pr(self):
+        report = check_map_merge(MapOperator(["a"]), None)
+        assert report.verdict is PairVerdict.PR
+
+    def test_user_only_ok(self):
+        assert check_map_merge(None, MapOperator(["a"])) is None
+
+    def test_neither_ok(self):
+        assert check_map_merge(None, None) is None
+
+
+class TestAggregateRules:
+    """The six ordered rules of Section 3.5's aggregate check."""
+
+    def test_rule1_size(self):
+        report = check_aggregate_merge(aggregate(size=10), aggregate(size=5))
+        assert report.verdict is PairVerdict.NR
+        assert "size" in report.detail
+
+    def test_rule2_step(self):
+        report = check_aggregate_merge(aggregate(step=4), aggregate(step=2))
+        assert report.verdict is PairVerdict.NR
+        assert "step" in report.detail
+
+    def test_rule3_type(self):
+        report = check_aggregate_merge(
+            aggregate(window_type=WindowType.TUPLE),
+            aggregate(window_type=WindowType.TIME, size=10, step=5),
+        )
+        assert report.verdict is PairVerdict.NR
+        assert "type" in report.detail
+
+    def test_rule4_conflicting_functions_nr(self):
+        report = check_aggregate_merge(
+            aggregate(specs=("a:avg",)), aggregate(specs=("a:max",))
+        )
+        assert report.verdict is PairVerdict.NR
+
+    def test_rule5_exact_match_silent(self):
+        assert check_aggregate_merge(
+            aggregate(specs=("a:avg", "b:max")), aggregate(specs=("a:avg",))
+        ) is None
+
+    def test_rule6_extra_attribute_pr(self):
+        report = check_aggregate_merge(
+            aggregate(specs=("a:avg",)), aggregate(specs=("a:avg", "b:max"))
+        )
+        assert report.verdict is PairVerdict.PR
+
+    def test_mixed_conflict_and_match_pr(self):
+        report = check_aggregate_merge(
+            aggregate(specs=("a:avg", "b:max")),
+            aggregate(specs=("a:avg", "b:min")),
+        )
+        assert report.verdict is PairVerdict.PR
+
+    def test_policy_only_aggregation_pr(self):
+        report = check_aggregate_merge(aggregate(), None)
+        assert report.verdict is PairVerdict.PR
+
+    def test_user_only_aggregation_ok(self):
+        assert check_aggregate_merge(None, aggregate()) is None
+
+
+class TestFilterRules:
+    def test_example3_pr(self):
+        """Policy a>8, user a>5 → PR (tuples 6,7,8 withheld)."""
+        report = check_filter_merge(FilterOperator("a > 8"), FilterOperator("a > 5"))
+        assert report.verdict is PairVerdict.PR
+
+    def test_example3_nr(self):
+        """Policy a<4, user a>5 → NR (nothing can satisfy both)."""
+        report = check_filter_merge(FilterOperator("a < 4"), FilterOperator("a > 5"))
+        assert report.verdict is PairVerdict.NR
+
+    def test_user_tighter_ok(self):
+        assert check_filter_merge(
+            FilterOperator("a > 5"), FilterOperator("a > 8")
+        ) is None
+
+    def test_example4_nr(self):
+        """Section 3.5 Example 4: both conjunctions contradictory → NR."""
+        report = check_filter_merge(
+            FilterOperator("(a > 20 AND a < 30) OR NOT (a != 40)"),
+            FilterOperator("NOT (a >= 10) AND b = 20"),
+        )
+        assert report.verdict is PairVerdict.NR
+
+    def test_disjunct_escape_hatch_no_alert(self):
+        """One compatible disjunct clears the whole check (Step 3)."""
+        assert check_filter_merge(
+            FilterOperator("a > 100 OR b > 0"), FilterOperator("a < 50 AND b > 1")
+        ) is None
+
+    def test_missing_policy_filter_ok(self):
+        assert check_filter_merge(None, FilterOperator("a > 5")) is None
+
+    def test_missing_user_filter_ok(self):
+        assert check_filter_merge(FilterOperator("a > 5"), None) is None
+
+    def test_different_attributes_ok(self):
+        assert check_filter_merge(
+            FilterOperator("a > 5"), FilterOperator("b > 5")
+        ) is None
+
+    def test_string_conflict_nr(self):
+        report = check_filter_merge(
+            FilterOperator("city = 'sg'"), FilterOperator("city = 'kl'")
+        )
+        assert report.verdict is PairVerdict.NR
+
+
+class TestWholeGraph:
+    def test_multiple_findings_collected(self):
+        policy = QueryGraph("s")
+        policy.append(FilterOperator("a > 8"))
+        policy.append(MapOperator(["a", "b"]))
+        user = QueryGraph("s")
+        user.append(FilterOperator("a > 5"))
+        user.append(MapOperator(["a"]))
+        reports = check_query_against_policy(policy, user)
+        assert {r.operator for r in reports} == {"filter", "map"}
+        assert all(r.verdict is PairVerdict.PR for r in reports)
+
+    def test_clean_refinement_no_findings(self):
+        policy = QueryGraph("s")
+        policy.append(FilterOperator("a > 5"))
+        policy.append(MapOperator(["a", "b"]))
+        user = QueryGraph("s")
+        user.append(FilterOperator("a > 8"))
+        user.append(MapOperator(["a", "b"]))
+        assert check_query_against_policy(policy, user) == []

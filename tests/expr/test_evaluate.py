@@ -1,0 +1,55 @@
+"""Tests for condition evaluation against tuples and mappings."""
+
+import pytest
+
+from repro.errors import ExpressionTypeError, UnknownAttributeError
+from repro.expr.evaluate import evaluate
+from repro.expr.parser import parse_condition
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.streams.tuples import make_tuple
+
+
+class TestAgainstMappings:
+    def test_simple_true(self):
+        assert evaluate(parse_condition("a > 5"), {"a": 6})
+
+    def test_simple_false(self):
+        assert not evaluate(parse_condition("a > 5"), {"a": 5})
+
+    def test_and_or_not(self):
+        cond = parse_condition("a > 5 AND (b < 2 OR NOT c = 0)")
+        assert evaluate(cond, {"a": 6, "b": 5, "c": 1})
+        assert not evaluate(cond, {"a": 6, "b": 5, "c": 0})
+
+    def test_true_expression(self):
+        assert evaluate(parse_condition("TRUE"), {})
+
+    def test_case_insensitive_lookup(self):
+        assert evaluate(parse_condition("RainRate > 5"), {"rainrate": 6})
+        assert evaluate(parse_condition("rainrate > 5"), {"RainRate": 6})
+
+    def test_string_equality(self):
+        assert evaluate(parse_condition("city = 'sg'"), {"city": "sg"})
+        assert not evaluate(parse_condition("city != 'sg'"), {"city": "sg"})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            evaluate(parse_condition("zz > 5"), {"a": 1})
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(ExpressionTypeError):
+            evaluate(parse_condition("a > 5"), {"a": "six"})
+        with pytest.raises(ExpressionTypeError):
+            evaluate(parse_condition("a = 'six'"), {"a": 6})
+
+
+class TestAgainstStreamTuples:
+    def test_weather_tuple(self):
+        record = {
+            "samplingtime": 0.0, "temperature": 30.0, "humidity": 70.0,
+            "solarradiation": 100.0, "rainrate": 12.0, "windspeed": 3.0,
+            "winddirection": 90, "barometer": 1010.0,
+        }
+        tup = make_tuple(WEATHER_SCHEMA, record)
+        assert evaluate(parse_condition("rainrate > 5"), tup)
+        assert not evaluate(parse_condition("windspeed >= 4"), tup)

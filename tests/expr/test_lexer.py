@@ -1,0 +1,91 @@
+"""Tests for the condition tokenizer."""
+
+import pytest
+
+from repro.errors import ExpressionSyntaxError
+from repro.expr.lexer import TokenType, tokenize
+
+
+def token_list(text):
+    return [t for t in tokenize(text) if t.type is not TokenType.END]
+
+
+class TestBasicTokens:
+    def test_simple_comparison(self):
+        tokens = token_list("rainrate > 5")
+        assert [t.type for t in tokens] == [
+            TokenType.IDENT, TokenType.OP, TokenType.NUMBER,
+        ]
+        assert tokens[0].value == "rainrate"
+        assert tokens[2].value == 5
+
+    def test_all_two_char_operators(self):
+        for op in ("<=", ">=", "!=", "<>", "=="):
+            tokens = token_list(f"x {op} 1")
+            assert tokens[1].type is TokenType.OP
+            assert tokens[1].text == op
+
+    def test_all_one_char_operators(self):
+        for op in ("<", ">", "="):
+            tokens = token_list(f"x {op} 1")
+            assert tokens[1].text == op
+
+    def test_float_literal(self):
+        tokens = token_list("x > 3.75")
+        assert tokens[2].value == 3.75
+        assert isinstance(tokens[2].value, float)
+
+    def test_integer_stays_int(self):
+        tokens = token_list("x > 42")
+        assert tokens[2].value == 42
+        assert isinstance(tokens[2].value, int)
+
+    def test_scientific_notation(self):
+        tokens = token_list("x > 1.5e3")
+        assert tokens[2].value == 1500.0
+
+    def test_negative_number(self):
+        tokens = token_list("x > -4")
+        assert tokens[2].value == -4
+
+    def test_leading_dot_number(self):
+        tokens = token_list("x > .5")
+        assert tokens[2].value == 0.5
+
+
+class TestStringsAndKeywords:
+    def test_string_literal(self):
+        tokens = token_list("name = 'singapore'")
+        assert tokens[2].type is TokenType.STRING
+        assert tokens[2].value == "singapore"
+
+    def test_string_with_escaped_quote(self):
+        tokens = token_list("name = 'it''s'")
+        assert tokens[2].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ExpressionSyntaxError):
+            token_list("name = 'oops")
+
+    def test_keywords_case_insensitive(self):
+        for word, kind in (("AND", TokenType.AND), ("and", TokenType.AND),
+                           ("Or", TokenType.OR), ("NOT", TokenType.NOT),
+                           ("true", TokenType.TRUE)):
+            tokens = token_list(word)
+            assert tokens[0].type is kind
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = token_list("wind_speed2 > 1")
+        assert tokens[0].value == "wind_speed2"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ExpressionSyntaxError) as excinfo:
+            token_list("x @ 5")
+        assert excinfo.value.position == 2
+
+    def test_parens_tokenize(self):
+        tokens = token_list("(x > 1)")
+        assert tokens[0].type is TokenType.LPAREN
+        assert tokens[-1].type is TokenType.RPAREN

@@ -1,0 +1,135 @@
+"""Tests for NOT-elimination, postfix conversion and DNF (Section 3.5)."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr.ast import Operator, SimpleExpression, TrueExpression
+from repro.expr.evaluate import evaluate
+from repro.expr.normalize import eliminate_not, to_dnf, to_postfix
+from repro.expr.parser import parse_condition
+
+
+def render_dnf(dnf):
+    return [[s.to_condition_string() for s in conj] for conj in dnf]
+
+
+class TestTable2Negations:
+    """The paper's Table 2: NOT (x op v) → x op' v."""
+
+    @pytest.mark.parametrize(
+        "op,negated",
+        [
+            (Operator.GT, Operator.LE),
+            (Operator.LT, Operator.GE),
+            (Operator.GE, Operator.LT),
+            (Operator.LE, Operator.GT),
+            (Operator.EQ, Operator.NE),
+            (Operator.NE, Operator.EQ),
+        ],
+    )
+    def test_negation_table(self, op, negated):
+        assert op.negated is negated
+
+    def test_negation_is_involution(self):
+        for op in Operator:
+            assert op.negated.negated is op
+
+
+class TestEliminateNot:
+    def test_leaf_negation(self):
+        expr = eliminate_not(parse_condition("NOT (a > 5)"))
+        assert expr == SimpleExpression("a", Operator.LE, 5)
+
+    def test_de_morgan_and(self):
+        expr = eliminate_not(parse_condition("NOT (a > 5 AND b < 3)"))
+        assert expr.to_condition_string() == "a <= 5 OR b >= 3"
+
+    def test_de_morgan_or(self):
+        expr = eliminate_not(parse_condition("NOT (a > 5 OR b < 3)"))
+        assert expr.to_condition_string() == "a <= 5 AND b >= 3"
+
+    def test_double_negation_cancels(self):
+        expr = eliminate_not(parse_condition("NOT NOT (a > 5)"))
+        assert expr == SimpleExpression("a", Operator.GT, 5)
+
+    def test_nested_negations(self):
+        expr = eliminate_not(parse_condition("NOT (a > 5 AND NOT (b < 3))"))
+        assert expr.to_condition_string() == "a <= 5 OR b < 3"
+
+    def test_preserves_truth_table(self):
+        text = "NOT ((a > 2 OR b < 5) AND NOT (a != 7))"
+        original = parse_condition(text)
+        eliminated = eliminate_not(original)
+        for a in (0, 2, 3, 7, 10):
+            for b in (0, 5, 9):
+                record = {"a": a, "b": b}
+                assert evaluate(original, record) == evaluate(eliminated, record)
+
+
+class TestPostfix:
+    def test_simple_chain(self):
+        postfix = to_postfix(parse_condition("a > 1 AND b > 2"))
+        kinds = [t if isinstance(t, str) else t.to_condition_string() for t in postfix]
+        assert kinds == ["a > 1", "b > 2", "AND"]
+
+    def test_example4_shape(self):
+        # ((A&B)|C)&(D&E) → A B & C | D E & &
+        expr = parse_condition("(a>20 AND a<30 OR a=40) AND (a<10 AND b=20)")
+        postfix = to_postfix(expr)
+        markers = [t for t in postfix if isinstance(t, str)]
+        assert markers == ["AND", "OR", "AND", "AND"]
+
+    def test_rejects_not(self):
+        with pytest.raises(ExpressionError):
+            to_postfix(parse_condition("NOT a > 1"))
+
+
+class TestDnf:
+    def test_already_conjunction(self):
+        dnf = to_dnf(parse_condition("a > 1 AND b < 2"))
+        assert render_dnf(dnf) == [["a > 1", "b < 2"]]
+
+    def test_distribution(self):
+        dnf = to_dnf(parse_condition("(a > 1 OR b > 2) AND c = 3"))
+        assert render_dnf(dnf) == [["a > 1", "c = 3"], ["b > 2", "c = 3"]]
+
+    def test_paper_example4(self):
+        """Example 4: P1 = (a>20 AND a<30) OR a=40, C2 = a<10 AND b=20."""
+        expr = parse_condition(
+            "((a>20 AND a<30) OR NOT(a != 40)) AND (NOT(a >= 10) AND b = 20)"
+        )
+        dnf = to_dnf(expr)
+        assert render_dnf(dnf) == [
+            ["a > 20", "a < 30", "a < 10", "b = 20"],
+            ["a = 40", "a < 10", "b = 20"],
+        ]
+
+    def test_duplicate_literals_removed(self):
+        dnf = to_dnf(parse_condition("a > 1 AND a > 1"))
+        assert render_dnf(dnf) == [["a > 1"]]
+
+    def test_duplicate_conjunctions_removed(self):
+        dnf = to_dnf(parse_condition("(a > 1) OR (a > 1)"))
+        assert render_dnf(dnf) == [["a > 1"]]
+
+    def test_true_absorbs(self):
+        dnf = to_dnf(parse_condition("TRUE OR a > 1"))
+        assert dnf == [()]
+
+    def test_true_is_and_identity(self):
+        dnf = to_dnf(parse_condition("TRUE AND a > 1"))
+        assert render_dnf(dnf) == [["a > 1"]]
+
+    def test_dnf_preserves_truth_table(self):
+        text = "(a > 2 OR NOT (b <= 5)) AND (NOT (a = 7) OR b > 1)"
+        original = parse_condition(text)
+        dnf = to_dnf(original)
+        for a in (0, 2, 3, 7, 10):
+            for b in (0, 1, 5, 9):
+                record = {"a": a, "b": b}
+                expected = evaluate(original, record)
+                got = any(
+                    all(evaluate(literal, record) for literal in conj)
+                    for conj in dnf
+                )
+                assert got == expected, (a, b)

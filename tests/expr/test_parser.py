@@ -1,0 +1,128 @@
+"""Tests for the condition parser."""
+
+import pytest
+
+from repro.errors import ExpressionSyntaxError, ExpressionTypeError
+from repro.expr.ast import (
+    AndExpression,
+    NotExpression,
+    Operator,
+    OrExpression,
+    SimpleExpression,
+    TrueExpression,
+)
+from repro.expr.parser import parse_condition
+
+
+class TestSimple:
+    def test_greater_than(self):
+        expr = parse_condition("rainrate > 5")
+        assert isinstance(expr, SimpleExpression)
+        assert expr.attribute == "rainrate"
+        assert expr.op is Operator.GT
+        assert expr.value == 5
+
+    def test_attribute_lowered(self):
+        expr = parse_condition("RainRate > 5")
+        assert expr.attribute == "rainrate"
+
+    @pytest.mark.parametrize(
+        "text,op",
+        [("x < 1", Operator.LT), ("x <= 1", Operator.LE), ("x >= 1", Operator.GE),
+         ("x = 1", Operator.EQ), ("x == 1", Operator.EQ), ("x != 1", Operator.NE),
+         ("x <> 1", Operator.NE)],
+    )
+    def test_operators(self, text, op):
+        assert parse_condition(text).op is op
+
+    def test_reversed_orientation_normalised(self):
+        expr = parse_condition("5 < rainrate")
+        assert expr.attribute == "rainrate"
+        assert expr.op is Operator.GT
+        assert expr.value == 5
+
+    def test_reversed_equality(self):
+        expr = parse_condition("40 = a")
+        assert expr.op is Operator.EQ
+
+    def test_string_comparison(self):
+        expr = parse_condition("city = 'singapore'")
+        assert expr.value == "singapore"
+
+    def test_string_with_inequality_rejected(self):
+        with pytest.raises(ExpressionTypeError):
+            parse_condition("city > 'singapore'")
+
+    def test_true_literal(self):
+        assert isinstance(parse_condition("TRUE"), TrueExpression)
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_condition("a > 1 OR b > 2 AND c > 3")
+        assert isinstance(expr, OrExpression)
+        assert isinstance(expr.children[1], AndExpression)
+
+    def test_parentheses_override(self):
+        expr = parse_condition("(a > 1 OR b > 2) AND c > 3")
+        assert isinstance(expr, AndExpression)
+        assert isinstance(expr.children[0], OrExpression)
+
+    def test_not_binds_tightest(self):
+        expr = parse_condition("NOT a > 1 AND b > 2")
+        assert isinstance(expr, AndExpression)
+        assert isinstance(expr.children[0], NotExpression)
+
+    def test_double_not(self):
+        expr = parse_condition("NOT NOT a > 1")
+        assert isinstance(expr, NotExpression)
+        assert isinstance(expr.child, NotExpression)
+
+    def test_flattening_of_chained_and(self):
+        expr = parse_condition("a > 1 AND b > 2 AND c > 3")
+        assert isinstance(expr, AndExpression)
+        assert len(expr.children) == 3
+
+
+class TestErrors:
+    def test_empty_condition(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("a > 1 b")
+
+    def test_missing_rhs(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("a >")
+
+    def test_missing_operator(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("a 5")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("(a > 1")
+
+    def test_two_literals(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_condition("1 > 2")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "rainrate > 5",
+            "a > 1 AND b < 2",
+            "a > 1 OR b < 2 AND c = 3",
+            "NOT (a != 40)",
+            "city = 'singapore' AND rainrate >= 2.5",
+        ],
+    )
+    def test_parse_render_parse(self, text):
+        first = parse_condition(text)
+        rendered = first.to_condition_string()
+        second = parse_condition(rendered)
+        assert second.to_condition_string() == rendered

@@ -1,0 +1,76 @@
+"""Tests for filter-merge simplification (Section 3.1's example)."""
+
+from repro.expr.ast import TrueExpression
+from repro.expr.evaluate import evaluate
+from repro.expr.parser import parse_condition
+from repro.expr.simplify import (
+    conjoin,
+    simplify_conjunction,
+    simplify_merged_condition,
+)
+
+
+def literals(*texts):
+    return [parse_condition(t) for t in texts]
+
+
+class TestSimplifyConjunction:
+    def test_paper_example(self):
+        """C1 = x > v1, C2 = x > v2 → x > v2 iff v2 >= v1."""
+        kept = simplify_conjunction(literals("x > 5", "x > 8"))
+        assert [k.to_condition_string() for k in kept] == ["x > 8"]
+
+    def test_keeps_both_directions(self):
+        kept = simplify_conjunction(literals("x > 5", "x < 10"))
+        assert len(kept) == 2
+
+    def test_equal_literals_collapse(self):
+        kept = simplify_conjunction(literals("x > 5", "x > 5"))
+        assert len(kept) == 1
+
+    def test_ge_vs_gt_same_value(self):
+        kept = simplify_conjunction(literals("x >= 5", "x > 5"))
+        assert [k.to_condition_string() for k in kept] == ["x > 5"]
+
+    def test_point_absorbs_range(self):
+        kept = simplify_conjunction(literals("x = 7", "x > 5"))
+        assert [k.to_condition_string() for k in kept] == ["x = 7"]
+
+    def test_different_attributes_untouched(self):
+        kept = simplify_conjunction(literals("x > 5", "y > 8"))
+        assert len(kept) == 2
+
+
+class TestConjoin:
+    def test_true_is_identity(self):
+        expr = parse_condition("x > 5")
+        assert conjoin(TrueExpression(), expr) is expr
+        assert conjoin(expr, TrueExpression()) is expr
+
+    def test_joins_two(self):
+        merged = conjoin(parse_condition("x > 5"), parse_condition("y < 2"))
+        assert merged.to_condition_string() == "x > 5 AND y < 2"
+
+
+class TestSimplifyMergedCondition:
+    def test_merged_paper_filters(self):
+        """Policy rainrate > 5, user RainRate > 50 → rainrate > 50."""
+        merged = simplify_merged_condition(
+            parse_condition("rainrate > 5"), parse_condition("rainrate > 50")
+        )
+        assert merged.to_condition_string() == "rainrate > 50"
+
+    def test_equivalence_preserved(self):
+        policy = parse_condition("(a > 2 OR b < 5) AND c != 0")
+        user = parse_condition("a > 4 AND c > 1")
+        merged = simplify_merged_condition(policy, user)
+        raw = conjoin(policy, user)
+        for a in (0, 3, 5):
+            for b in (0, 6):
+                for c in (-1, 0, 2):
+                    record = {"a": a, "b": b, "c": c}
+                    assert evaluate(merged, record) == evaluate(raw, record)
+
+    def test_true_sides(self):
+        user = parse_condition("a > 4")
+        assert simplify_merged_condition(TrueExpression(), user) is user

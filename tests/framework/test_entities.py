@@ -1,0 +1,215 @@
+"""Tests for server, proxy, client and the direct-query baseline."""
+
+import pytest
+
+from repro.core import UserQuery, stream_policy
+from repro.framework.client import ClientInterface
+from repro.framework.direct import DirectQuerySystem
+from repro.framework.messages import StreamRequestMessage
+from repro.framework.network import SimulatedNetwork
+from repro.framework.proxy import Proxy
+from repro.framework.server import DataServer
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import FilterOperator
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.xacml.request import Request
+
+
+def deploy(cache_enabled=True, enforce_single_access=False):
+    network = SimulatedNetwork()
+    engine = StreamEngine()
+    engine.register_input_stream("weather", WEATHER_SCHEMA)
+    server = DataServer(
+        network,
+        engine=engine,
+        enforce_single_access=enforce_single_access,
+        allow_partial_results=True,
+    )
+    proxy = Proxy(server, network, cache_enabled=cache_enabled)
+    client = ClientInterface(proxy, network)
+    graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+    server.load_policy(stream_policy("p1", "weather", graph, subject="LTA"))
+    return network, server, proxy, client
+
+
+class TestServer:
+    def test_policy_load_time(self):
+        network, server, _, _ = deploy()
+        delay = server.load_policy(
+            stream_policy(
+                "p2", "weather",
+                QueryGraph("weather").append(FilterOperator("windspeed > 1")),
+                subject="NEA",
+            )
+        )
+        assert 0.05 < delay < 0.6
+
+    def test_permit_response(self):
+        _, server, _, _ = deploy()
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        response, timing = server.process(message)
+        assert response.ok
+        assert response.handle_uri.startswith("stream://")
+        assert timing.pdp >= 0
+        assert timing.dsms_submit > 0
+
+    def test_denied_response_not_exception(self):
+        _, server, _, _ = deploy()
+        message = StreamRequestMessage(Request.simple("nobody", "weather"), None)
+        response, _ = server.process(message)
+        assert not response.ok
+        assert response.error_kind == "denied"
+
+    def test_nr_response(self):
+        _, server, _, _ = deploy()
+        query = UserQuery("weather", filter_condition="rainrate < 2")
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), query)
+        response, _ = server.process(message)
+        assert response.error_kind == "nr"
+
+    def test_concurrent_response_when_enforced(self):
+        _, server, _, _ = deploy(enforce_single_access=True)
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        first, _ = server.process(message)
+        assert first.ok
+        second, _ = server.process(message)
+        assert second.error_kind == "concurrent"
+
+
+class TestProxyCache:
+    def test_hit_skips_server(self):
+        _, server, proxy, _ = deploy()
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        first = proxy.process(message)
+        second = proxy.process(message)
+        assert not first.cache_hit and second.cache_hit
+        assert second.response.handle_uri == first.response.handle_uri
+        assert server.requests_processed == 1
+        assert proxy.hit_rate == 0.5
+
+    def test_hit_is_faster(self):
+        network, _, proxy, _ = deploy()
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        start = network.clock.now()
+        proxy.process(message)
+        miss_time = network.clock.now() - start
+        start = network.clock.now()
+        proxy.process(message)
+        hit_time = network.clock.now() - start
+        assert hit_time < miss_time / 2
+
+    def test_different_queries_do_not_collide(self):
+        _, server, proxy, _ = deploy()
+        plain = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        custom = StreamRequestMessage(
+            Request.simple("LTA", "weather"),
+            UserQuery("weather", filter_condition="rainrate > 50"),
+        )
+        proxy.process(plain)
+        result = proxy.process(custom)
+        assert not result.cache_hit
+        assert server.requests_processed == 2
+
+    def test_errors_not_cached(self):
+        _, server, proxy, _ = deploy()
+        message = StreamRequestMessage(Request.simple("nobody", "weather"), None)
+        proxy.process(message)
+        result = proxy.process(message)
+        assert not result.cache_hit
+        assert server.requests_processed == 2
+
+    def test_cache_disabled(self):
+        _, server, proxy, _ = deploy(cache_enabled=False)
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        proxy.process(message)
+        result = proxy.process(message)
+        assert not result.cache_hit
+        assert server.requests_processed == 2
+
+    def test_revoked_handle_not_served_from_cache(self):
+        _, server, proxy, _ = deploy()
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        first = proxy.process(message)
+        server.instance.remove_policy("p1")
+        result = proxy.process(message)
+        assert not result.cache_hit
+        assert result.response.handle_uri != first.response.handle_uri
+
+    def test_lru_eviction(self):
+        network, server, proxy, _ = deploy()
+        proxy.cache_capacity = 1
+        for subject, policy_id in (("NEA", "p-nea"), ("PUB", "p-pub")):
+            graph = QueryGraph("weather").append(FilterOperator("rainrate > 1"))
+            server.load_policy(
+                stream_policy(policy_id, "weather", graph, subject=subject)
+            )
+        lta = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        nea = StreamRequestMessage(Request.simple("NEA", "weather"), None)
+        proxy.process(lta)
+        proxy.process(nea)   # evicts lta
+        assert not proxy.process(lta).cache_hit
+
+    def test_invalidate(self):
+        _, _, proxy, _ = deploy()
+        message = StreamRequestMessage(Request.simple("LTA", "weather"), None)
+        proxy.process(message)
+        proxy.invalidate()
+        assert not proxy.process(message).cache_hit
+
+
+class TestClient:
+    def test_trace_recorded(self):
+        network, _, _, client = deploy()
+        response, trace = client.request_stream(Request.simple("LTA", "weather"))
+        assert response.ok
+        assert trace.total > 0
+        assert trace.network > 0
+        assert trace.outcome == "ok"
+        assert client.metrics.traces == [trace]
+
+    def test_breakdown_sums_below_total(self):
+        _, _, _, client = deploy()
+        _, trace = client.request_stream(Request.simple("LTA", "weather"))
+        assert trace.pdp + trace.query_graph + trace.dsms_submit <= trace.total + 1e-6
+
+    def test_denied_trace(self):
+        _, _, _, client = deploy()
+        response, trace = client.request_stream(Request.simple("nobody", "weather"))
+        assert not response.ok
+        assert trace.outcome == "denied"
+
+
+class TestDirectQuery:
+    SCRIPT = (
+        "CREATE OUTPUT STREAM output;\n"
+        "SELECT * FROM weather WHERE rainrate > 5 INTO output;\n"
+    )
+
+    def test_submit_registers_query(self):
+        network, server, _, _ = deploy()
+        direct = DirectQuerySystem(server.instance.engine, network)
+        response, trace = direct.submit(self.SCRIPT)
+        assert response.ok
+        assert trace.system == "direct"
+        assert trace.pdp == 0.0
+        server.instance.engine.lookup(response.handle_uri)
+
+    def test_bad_script_is_error_response(self):
+        network, server, _, _ = deploy()
+        direct = DirectQuerySystem(server.instance.engine, network)
+        response, trace = direct.submit("SELECT FROM nothing")
+        assert not response.ok
+        assert trace.outcome == "error"
+
+    def test_direct_faster_than_exacml(self):
+        network, server, proxy, client = deploy()
+        direct = DirectQuerySystem(server.instance.engine, network)
+        # Warm both DSMS connection pools first.
+        for _ in range(6):
+            direct.submit(self.SCRIPT)
+            client.request_stream(Request.simple("LTA", "weather"))
+        proxy.cache_enabled = False
+        _, direct_trace = direct.submit(self.SCRIPT)
+        _, exacml_trace = client.request_stream(Request.simple("LTA", "weather"))
+        assert direct_trace.total < exacml_trace.total

@@ -1,0 +1,87 @@
+"""Tests for metrics, summaries and CDFs."""
+
+import pytest
+
+from repro.framework.metrics import (
+    MetricsCollector,
+    RequestTrace,
+    cdf_points,
+    percentile,
+    summarize,
+)
+
+
+def trace(total, system="exacml+", seq=1, pdp=0.001, graph=0.001, submit=0.1,
+          network=0.2, cache_hit=False, outcome="ok"):
+    return RequestTrace(seq, system, total, pdp, graph, submit, network,
+                        cache_hit, outcome)
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.p50 == 2.5
+
+    def test_summarize_empty(self):
+        assert summarize([]).count == 0
+
+    def test_percentile_interpolation(self):
+        ordered = [0.0, 10.0]
+        assert percentile(ordered, 0.5) == 5.0
+        assert percentile(ordered, 0.9) == 9.0
+
+    def test_percentile_single(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+class TestCollector:
+    def build(self):
+        collector = MetricsCollector()
+        collector.add(trace(0.2, system="direct"))
+        collector.add(trace(0.4, system="exacml+"))
+        collector.add(trace(0.6, system="exacml+"))
+        collector.add(trace(9.9, system="exacml+", outcome="denied"))
+        return collector
+
+    def test_totals_filter_outcome_and_system(self):
+        collector = self.build()
+        assert collector.totals("exacml+") == [0.4, 0.6]
+        assert collector.totals("direct") == [0.2]
+        assert len(collector.totals()) == 3
+
+    def test_by_system(self):
+        grouped = self.build().by_system()
+        assert set(grouped) == {"direct", "exacml+"}
+        assert len(grouped["exacml+"]) == 3
+
+    def test_network_and_submit_shares(self):
+        collector = MetricsCollector()
+        collector.add(trace(1.0, network=0.6, submit=0.3))
+        assert collector.network_share("exacml+") == pytest.approx(0.6)
+        assert collector.submit_share("exacml+") == pytest.approx(0.3)
+
+    def test_cache_hit_rate(self):
+        collector = MetricsCollector()
+        collector.add(trace(0.1, system="exacml+cache", cache_hit=True))
+        collector.add(trace(0.5, system="exacml+cache", cache_hit=False))
+        assert collector.cache_hit_rate() == 0.5
+
+    def test_ascii_cdf_renders(self):
+        rendered = self.build().ascii_cdf(["direct", "exacml+"])
+        assert "direct" in rendered
+        assert "0.50" in rendered
+
+    def test_cdf_monotone(self):
+        collector = self.build()
+        points = collector.cdf("exacml+")
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for the virtual clock and latency model."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.framework.network import LatencyModel, SimulatedNetwork, VirtualClock
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now() == 1.75
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransportError):
+            VirtualClock().advance(-1)
+
+    def test_custom_start(self):
+        assert VirtualClock(100.0).now() == 100.0
+
+
+class TestLatencyModel:
+    def test_deterministic_with_seed(self):
+        first = LatencyModel(seed=5)
+        second = LatencyModel(seed=5)
+        assert [first.link_delay("client-proxy") for _ in range(10)] == [
+            second.link_delay("client-proxy") for _ in range(10)
+        ]
+
+    def test_delays_positive(self):
+        model = LatencyModel(seed=1)
+        for _ in range(200):
+            assert model.link_delay("proxy-server") >= model.floor
+
+    def test_unknown_link(self):
+        with pytest.raises(TransportError):
+            LatencyModel().link_delay("mars-earth")
+
+    def test_payload_size_increases_delay(self):
+        model = LatencyModel(seed=1)
+        small = [LatencyModel(seed=1).link_delay("client-proxy", 100) for _ in range(1)]
+        large = [LatencyModel(seed=1).link_delay("client-proxy", 1_000_000) for _ in range(1)]
+        assert large[0] > small[0]
+
+    def test_first_connection_much_slower(self):
+        model = LatencyModel(seed=1)
+        first = [LatencyModel(seed=i).dsms_submit_delay(True) for i in range(30)]
+        later = [LatencyModel(seed=i).dsms_submit_delay(False) for i in range(30)]
+        assert min(first) > max(later)
+
+    def test_policy_load_calibration(self):
+        """Mean ≈ 0.25 s, σ ≈ 0.06 s (paper Section 4.2)."""
+        model = LatencyModel(seed=7)
+        samples = [model.policy_load_delay() for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert mean == pytest.approx(0.25, abs=0.01)
+        assert variance ** 0.5 == pytest.approx(0.06, abs=0.01)
+
+
+class TestSimulatedNetwork:
+    def test_transfer_advances_clock(self):
+        network = SimulatedNetwork()
+        before = network.clock.now()
+        delay = network.transfer("client-proxy")
+        assert network.clock.now() == before + delay
+
+    def test_connection_pool_warms_up(self):
+        network = SimulatedNetwork(dsms_pool_size=3)
+        delays = [network.dsms_submit("server") for _ in range(10)]
+        # First three submissions pay connection setup; the rest do not.
+        assert min(delays[:3]) > max(delays[3:])
+
+    def test_pools_per_endpoint(self):
+        network = SimulatedNetwork(dsms_pool_size=1)
+        first_server = network.dsms_submit("server")
+        first_client = network.dsms_submit("client")
+        assert first_server > 1.0 and first_client > 1.0
+
+    def test_reset_pools(self):
+        network = SimulatedNetwork(dsms_pool_size=1)
+        network.dsms_submit("server")
+        warm = network.dsms_submit("server")
+        network.reset_pools()
+        cold = network.dsms_submit("server")
+        assert cold > warm
+
+    def test_policy_load_advances_clock(self):
+        network = SimulatedNetwork()
+        before = network.clock.now()
+        network.policy_load()
+        assert network.clock.now() > before

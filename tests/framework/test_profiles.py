@@ -1,0 +1,60 @@
+"""Tests for the deployment latency profiles."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.framework.network import SimulatedNetwork
+from repro.framework.profiles import (
+    PROFILES,
+    azure_like_profile,
+    ec2_like_profile,
+    get_profile,
+    intranet_profile,
+)
+
+
+class TestProfileRegistry:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"intranet", "ec2", "azure"}
+        for name in PROFILES:
+            assert get_profile(name) is not None
+
+    def test_unknown_profile(self):
+        with pytest.raises(FrameworkError):
+            get_profile("gcp")
+
+    def test_seeded_determinism(self):
+        a = get_profile("ec2", seed=5)
+        b = get_profile("ec2", seed=5)
+        assert [a.link_delay("client-proxy") for _ in range(5)] == [
+            b.link_delay("client-proxy") for _ in range(5)
+        ]
+
+
+class TestProfileShapes:
+    @staticmethod
+    def mean_delay(model, link, samples=500):
+        return sum(model.link_delay(link) for _ in range(samples)) / samples
+
+    def test_cloud_profiles_have_fast_datacenter_links(self):
+        for factory in (ec2_like_profile, azure_like_profile):
+            model = factory(seed=1)
+            assert self.mean_delay(model, "proxy-server") < 0.02
+            assert self.mean_delay(model, "server-dsms") < 0.02
+
+    def test_cloud_profiles_have_slow_client_links(self):
+        intranet = intranet_profile(seed=1)
+        for factory in (ec2_like_profile, azure_like_profile):
+            cloud = factory(seed=1)
+            assert (
+                self.mean_delay(cloud, "client-proxy")
+                > self.mean_delay(intranet, "client-proxy")
+            )
+
+    def test_profiles_drive_networks(self):
+        for name in PROFILES:
+            network = SimulatedNetwork(get_profile(name))
+            before = network.clock.now()
+            network.transfer("client-proxy")
+            network.dsms_submit("server")
+            assert network.clock.now() > before

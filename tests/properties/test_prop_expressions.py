@@ -1,0 +1,135 @@
+"""Property-based tests for the expression toolkit (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.ast import (
+    AndExpression,
+    NotExpression,
+    Operator,
+    OrExpression,
+    SimpleExpression,
+)
+from repro.expr.evaluate import evaluate
+from repro.expr.normalize import eliminate_not, to_dnf
+from repro.expr.parser import parse_condition
+from repro.expr.satisfiability import (
+    PairVerdict,
+    check_two_simple_expressions,
+    intersection_empty,
+    is_subset,
+    satisfies,
+)
+from repro.expr.simplify import simplify_conjunction, simplify_merged_condition
+
+ATTRS = ("a", "b", "c")
+VALUES = st.integers(min_value=-5, max_value=5)
+
+
+@st.composite
+def simple_expressions(draw, attrs=ATTRS):
+    return SimpleExpression(
+        draw(st.sampled_from(attrs)),
+        draw(st.sampled_from(list(Operator))),
+        draw(VALUES),
+    )
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0:
+        return draw(simple_expressions())
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return draw(simple_expressions())
+    if kind == 1:
+        return NotExpression(draw(expressions(depth=depth - 1)))
+    children = tuple(
+        draw(expressions(depth=depth - 1))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    )
+    return AndExpression(children) if kind == 2 else OrExpression(children)
+
+
+RECORDS = st.fixed_dictionaries(
+    {attr: st.integers(min_value=-6, max_value=6) for attr in ATTRS}
+)
+
+
+class TestNormalisationEquivalence:
+    @given(expressions(), RECORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_eliminate_not_preserves_semantics(self, expression, record):
+        assert evaluate(expression, record) == evaluate(
+            eliminate_not(expression), record
+        )
+
+    @given(expressions(), RECORDS)
+    @settings(max_examples=300, deadline=None)
+    def test_dnf_preserves_semantics(self, expression, record):
+        dnf = to_dnf(expression)
+        got = any(
+            all(evaluate(literal, record) for literal in conjunction)
+            for conjunction in dnf
+        )
+        assert got == evaluate(expression, record)
+
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_through_condition_string(self, expression):
+        rendered = expression.to_condition_string()
+        reparsed = parse_condition(rendered)
+        assert reparsed.to_condition_string() == rendered
+
+
+class TestSatisfiabilityAlgebra:
+    @given(simple_expressions(attrs=("x",)), simple_expressions(attrs=("x",)),
+           st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=500, deadline=None)
+    def test_empty_intersection_has_no_witness(self, s1, s2, witness):
+        if intersection_empty(s1, s2):
+            assert not (satisfies(s1, witness) and satisfies(s2, witness))
+
+    @given(simple_expressions(attrs=("x",)), simple_expressions(attrs=("x",)),
+           st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=500, deadline=None)
+    def test_subset_respects_membership(self, inner, outer, witness):
+        if is_subset(inner, outer) and satisfies(inner, witness):
+            assert satisfies(outer, witness)
+
+    @given(simple_expressions(attrs=("x",)), simple_expressions(attrs=("x",)))
+    @settings(max_examples=300, deadline=None)
+    def test_verdict_consistency(self, policy, user):
+        verdict = check_two_simple_expressions(policy, user)
+        if verdict is PairVerdict.NR:
+            assert intersection_empty(policy, user)
+        if verdict is PairVerdict.OK:
+            assert is_subset(user, policy)
+
+    @given(simple_expressions(attrs=("x",)))
+    @settings(max_examples=100, deadline=None)
+    def test_self_pair_is_ok(self, expression):
+        assert check_two_simple_expressions(expression, expression) is PairVerdict.OK
+
+
+class TestSimplification:
+    @given(st.lists(simple_expressions(attrs=("x", "y")), min_size=1, max_size=6),
+           st.fixed_dictionaries({"x": VALUES, "y": VALUES}))
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_conjunction_equivalent(self, literals, record):
+        kept = simplify_conjunction(literals)
+        assert kept, "simplification must never drop all literals"
+        original = all(evaluate(l, record) for l in literals)
+        simplified = all(evaluate(l, record) for l in kept)
+        assert original == simplified
+
+    @given(st.lists(simple_expressions(attrs=("x", "y")), min_size=1, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_conjunction_never_grows(self, literals):
+        assert len(simplify_conjunction(literals)) <= len(set(literals))
+
+    @given(expressions(depth=2), expressions(depth=2), RECORDS)
+    @settings(max_examples=200, deadline=None)
+    def test_merged_condition_equals_conjunction(self, first, second, record):
+        merged = simplify_merged_condition(first, second)
+        expected = evaluate(first, record) and evaluate(second, record)
+        assert evaluate(merged, record) == expected

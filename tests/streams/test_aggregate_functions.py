@@ -1,0 +1,109 @@
+"""Tests for the aggregate-function registry."""
+
+import math
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AggregateFunction,
+    get_aggregate_function,
+    register_aggregate_function,
+)
+from repro.streams.schema import DataType, Field
+
+
+class TestLookup:
+    def test_known_functions_present(self):
+        for name in ("avg", "sum", "min", "max", "count", "lastval",
+                     "firstval", "median", "stdev"):
+            assert get_aggregate_function(name).name == name
+
+    def test_paper_spelling_aliases(self):
+        assert get_aggregate_function("LastValue").name == "lastval"
+        assert get_aggregate_function("FirstValue").name == "firstval"
+        assert get_aggregate_function("Average").name == "avg"
+
+    def test_unknown_raises(self):
+        with pytest.raises(StreamError):
+            get_aggregate_function("mode")
+
+
+class TestComputation:
+    values = [4, 1, 3, 2]
+
+    def test_avg(self):
+        assert get_aggregate_function("avg").compute(self.values) == 2.5
+
+    def test_sum(self):
+        assert get_aggregate_function("sum").compute(self.values) == 10
+
+    def test_min_max(self):
+        assert get_aggregate_function("min").compute(self.values) == 1
+        assert get_aggregate_function("max").compute(self.values) == 4
+
+    def test_count(self):
+        assert get_aggregate_function("count").compute(self.values) == 4
+
+    def test_first_last(self):
+        assert get_aggregate_function("firstval").compute(self.values) == 4
+        assert get_aggregate_function("lastval").compute(self.values) == 2
+
+    def test_median_even_odd(self):
+        assert get_aggregate_function("median").compute([1, 2, 3, 4]) == 2.5
+        assert get_aggregate_function("median").compute([3, 1, 2]) == 2
+
+    def test_stdev(self):
+        result = get_aggregate_function("stdev").compute([2, 4, 4, 4, 5, 5, 7, 9])
+        assert math.isclose(result, 2.138, rel_tol=1e-3)
+
+    def test_stdev_single_value(self):
+        assert get_aggregate_function("stdev").compute([5]) == 0.0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(StreamError):
+            get_aggregate_function("avg").compute([])
+
+
+class TestResultTypes:
+    def test_avg_always_double(self):
+        field = get_aggregate_function("avg").result_field(Field("x", "int"))
+        assert field.dtype is DataType.DOUBLE
+        assert field.name == "avgx"
+
+    def test_count_always_int(self):
+        field = get_aggregate_function("count").result_field(Field("x", "string"))
+        assert field.dtype is DataType.INT
+
+    def test_min_preserves(self):
+        field = get_aggregate_function("min").result_field(Field("x", "timestamp"))
+        assert field.dtype is DataType.TIMESTAMP
+
+    def test_sum_of_int_is_int(self):
+        assert get_aggregate_function("sum").result_field(Field("x", "int")).dtype is DataType.INT
+
+    def test_sum_of_timestamp_widens(self):
+        assert (
+            get_aggregate_function("sum").result_field(Field("x", "timestamp")).dtype
+            is DataType.DOUBLE
+        )
+
+    def test_numeric_required(self):
+        with pytest.raises(StreamError):
+            get_aggregate_function("avg").result_field(Field("x", "string"))
+
+    def test_lastval_works_on_strings(self):
+        field = get_aggregate_function("lastval").result_field(Field("x", "string"))
+        assert field.dtype is DataType.STRING
+
+
+class TestRegistration:
+    def test_custom_function(self):
+        register_aggregate_function(
+            AggregateFunction("range", lambda v: max(v) - min(v), lambda d: d)
+        )
+        try:
+            assert get_aggregate_function("range").compute([1, 5, 3]) == 4
+        finally:
+            AGGREGATE_FUNCTIONS.pop("range", None)

@@ -1,0 +1,154 @@
+"""Tests for the stream engine, catalog and handles."""
+
+import pytest
+
+from repro.errors import EngineError, UnknownHandleError, UnknownStreamError
+from repro.streams.catalog import StreamCatalog
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.handles import StreamHandle
+from repro.streams.operators import FilterOperator
+from repro.streams.schema import WEATHER_SCHEMA, Schema
+
+SIMPLE = Schema("s", [("x", "int")])
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = StreamCatalog()
+        catalog.register("s", SIMPLE)
+        assert catalog.get("S").schema == SIMPLE
+        assert "s" in catalog and "S" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_rejected(self):
+        catalog = StreamCatalog()
+        catalog.register("s", SIMPLE)
+        with pytest.raises(EngineError):
+            catalog.register("S", SIMPLE)
+
+    def test_unknown_stream(self):
+        with pytest.raises(UnknownStreamError):
+            StreamCatalog().get("nope")
+
+
+class TestHandles:
+    def test_uri_round_trip(self):
+        handle = StreamHandle("dsms.local", "q42")
+        parsed = StreamHandle.parse(handle.uri)
+        assert parsed == handle
+        assert parsed.query_id == "q42"
+
+    def test_allocate_unique(self):
+        first = StreamHandle.allocate("h")
+        second = StreamHandle.allocate("h")
+        assert first.uri != second.uri
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(EngineError):
+            StreamHandle.parse("http://x/y")
+        with pytest.raises(EngineError):
+            StreamHandle.parse("stream://hostonly")
+
+
+class TestEngine:
+    def make_engine(self):
+        engine = StreamEngine()
+        engine.register_input_stream("s", SIMPLE)
+        return engine
+
+    def test_register_and_read(self):
+        engine = self.make_engine()
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 2")))
+        engine.push_many("s", [{"x": v} for v in (1, 3, 5)])
+        assert [t["x"] for t in engine.read(handle)] == [3, 5]
+
+    def test_read_limit(self):
+        engine = self.make_engine()
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        engine.push_many("s", [{"x": v} for v in range(1, 6)])
+        assert [t["x"] for t in engine.read(handle, limit=2)] == [4, 5]
+
+    def test_queries_only_see_future_tuples(self):
+        engine = self.make_engine()
+        engine.push("s", {"x": 1})
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        engine.push("s", {"x": 2})
+        assert [t["x"] for t in engine.read(handle)] == [2]
+
+    def test_multiple_queries_same_stream(self):
+        engine = self.make_engine()
+        low = engine.register_query(QueryGraph("s").append(FilterOperator("x < 3")))
+        high = engine.register_query(QueryGraph("s").append(FilterOperator("x >= 3")))
+        engine.push_many("s", [{"x": v} for v in (1, 3)])
+        assert len(engine.read(low)) == 1
+        assert len(engine.read(high)) == 1
+
+    def test_withdraw_stops_processing(self):
+        engine = self.make_engine()
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        engine.push("s", {"x": 1})
+        engine.withdraw(handle)
+        with pytest.raises(UnknownHandleError):
+            engine.read(handle)
+        with pytest.raises(UnknownHandleError):
+            engine.withdraw(handle)
+        engine.push("s", {"x": 2})  # must not crash
+
+    def test_invalid_graph_changes_nothing(self):
+        engine = self.make_engine()
+        bad = QueryGraph("s").append(FilterOperator("zz > 0"))
+        with pytest.raises(Exception):
+            engine.register_query(bad)
+        assert len(engine) == 0
+
+    def test_unknown_source_stream(self):
+        engine = self.make_engine()
+        with pytest.raises(UnknownStreamError):
+            engine.register_query(QueryGraph("nope"))
+
+    def test_duplicate_handle_rejected(self):
+        engine = self.make_engine()
+        handle = StreamHandle("dsms.local", "fixed")
+        engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")), handle)
+        with pytest.raises(EngineError):
+            engine.register_query(
+                QueryGraph("s").append(FilterOperator("x > 1")), handle
+            )
+
+    def test_subscribe_to_output(self):
+        engine = self.make_engine()
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        subscription = engine.subscribe(handle)
+        engine.push("s", {"x": 5})
+        assert [t["x"] for t in subscription.drain()] == [5]
+
+    def test_register_streamsql_declares_stream(self):
+        engine = StreamEngine()
+        script = (
+            "CREATE INPUT STREAM w (t timestamp, x double);\n"
+            "CREATE OUTPUT STREAM output;\n"
+            "SELECT * FROM w WHERE x > 1 INTO output;\n"
+        )
+        handle = engine.register_streamsql(script)
+        engine.push("w", {"t": 0.0, "x": 2.0})
+        assert len(engine.read(handle)) == 1
+
+    def test_register_streamsql_schema_conflict(self):
+        engine = StreamEngine()
+        engine.register_input_stream("w", SIMPLE)
+        script = (
+            "CREATE INPUT STREAM w (t timestamp, x double);\n"
+            "CREATE OUTPUT STREAM output;\n"
+            "SELECT * FROM w WHERE x > 1 INTO output;\n"
+        )
+        with pytest.raises(EngineError):
+            engine.register_streamsql(script)
+
+    def test_total_registered_counter(self):
+        engine = self.make_engine()
+        engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 1")))
+        engine.withdraw(handle)
+        assert engine.total_registered == 2
+        assert len(engine.active_queries()) == 1

@@ -1,0 +1,142 @@
+"""Tests for query graphs."""
+
+import pytest
+
+from repro.errors import GraphError, SchemaError
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.streams.tuples import make_tuple
+from tests.conftest import build_nea_policy_graph
+
+
+def weather_tuple(rainrate, t=0.0, windspeed=1.0):
+    return make_tuple(
+        WEATHER_SCHEMA,
+        {
+            "samplingtime": t, "temperature": 30.0, "humidity": 70.0,
+            "solarradiation": 100.0, "rainrate": rainrate,
+            "windspeed": windspeed, "winddirection": 0, "barometer": 1010.0,
+        },
+    )
+
+
+class TestConstruction:
+    def test_append_chaining(self):
+        graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+        assert len(graph) == 1
+        assert not graph.is_passthrough
+
+    def test_needs_source(self):
+        with pytest.raises(GraphError):
+            QueryGraph("")
+
+    def test_append_rejects_non_operator(self):
+        with pytest.raises(GraphError):
+            QueryGraph("weather").append("not an operator")
+
+    def test_single_accessors(self):
+        graph = build_nea_policy_graph()
+        assert graph.filter_operator is not None
+        assert graph.map_operator is not None
+        assert graph.aggregate_operator is not None
+
+    def test_single_raises_on_duplicates(self):
+        graph = QueryGraph("weather")
+        graph.append(FilterOperator("rainrate > 5"))
+        graph.append(FilterOperator("windspeed > 1"))
+        with pytest.raises(GraphError):
+            graph.filter_operator
+
+
+class TestValidation:
+    def test_nea_graph_output_schema(self):
+        graph = build_nea_policy_graph()
+        out = graph.validate(WEATHER_SCHEMA)
+        assert out.attribute_names == (
+            "lastvalsamplingtime", "avgrainrate", "maxwindspeed",
+        )
+
+    def test_schema_trace(self):
+        graph = build_nea_policy_graph()
+        trace = graph.schema_trace(WEATHER_SCHEMA)
+        assert len(trace) == 4
+        assert trace[0] == WEATHER_SCHEMA
+        assert trace[1] == WEATHER_SCHEMA  # filter preserves
+        assert trace[2].attribute_names == ("samplingtime", "rainrate", "windspeed")
+
+    def test_aggregate_after_dropping_attribute_fails(self):
+        graph = QueryGraph("weather")
+        graph.append(MapOperator(["samplingtime"]))
+        graph.append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 2, 2),
+                [AggregationSpec.parse("rainrate:avg")],
+            )
+        )
+        with pytest.raises(SchemaError):
+            graph.validate(WEATHER_SCHEMA)
+
+
+class TestExecution:
+    def test_chain_execution(self):
+        graph = build_nea_policy_graph()
+        instance = graph.instantiate(WEATHER_SCHEMA)
+        outputs = []
+        # 12 rainy tuples: windows of 5 advance 2 → outputs at 5,7,9,11.
+        for i in range(12):
+            outputs.extend(instance.process(weather_tuple(10.0 + i, t=float(i))))
+        assert len(outputs) == 4
+        assert outputs[0]["avgrainrate"] == pytest.approx(12.0)
+
+    def test_filtered_out_tuples_do_not_feed_window(self):
+        graph = QueryGraph("weather")
+        graph.append(FilterOperator("rainrate > 5"))
+        graph.append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 2, 2),
+                [AggregationSpec.parse("rainrate:sum")],
+            )
+        )
+        instance = graph.instantiate(WEATHER_SCHEMA)
+        outputs = []
+        for rainrate in (10, 1, 1, 20):  # only 10 and 20 pass
+            outputs.extend(instance.process(weather_tuple(rainrate)))
+        assert [t["sumrainrate"] for t in outputs] == [30.0]
+
+    def test_process_many(self):
+        graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+        instance = graph.instantiate(WEATHER_SCHEMA)
+        outputs = instance.process_many([weather_tuple(1), weather_tuple(9)])
+        assert len(outputs) == 1
+
+    def test_instances_do_not_share_state(self):
+        graph = QueryGraph("weather").append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 2, 2),
+                [AggregationSpec.parse("rainrate:sum")],
+            )
+        )
+        first = graph.instantiate(WEATHER_SCHEMA)
+        second = graph.instantiate(WEATHER_SCHEMA)
+        first.process(weather_tuple(1))
+        assert second.process(weather_tuple(2)) == []  # own window state
+
+    def test_fresh_copy_independent(self):
+        graph = build_nea_policy_graph()
+        clone = graph.fresh_copy("clone")
+        assert clone.name == "clone"
+        assert len(clone) == len(graph)
+        assert clone.operators[0] is not graph.operators[0]
+
+    def test_describe_mentions_operators(self):
+        description = build_nea_policy_graph().describe()
+        assert "rainrate > 5" in description
+        assert "avg(rainrate)" in description

@@ -1,0 +1,238 @@
+"""Tests for filter, map and window-aggregation boxes."""
+
+import pytest
+
+from repro.errors import SchemaError, StreamError
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import Schema
+from repro.streams.tuples import make_tuple
+
+SCHEMA = Schema("s", [("t", "timestamp"), ("x", "double"), ("tag", "string")])
+
+
+def tuples(*values):
+    return [
+        make_tuple(SCHEMA, {"t": float(i), "x": float(v), "tag": "a"})
+        for i, v in enumerate(values)
+    ]
+
+
+def run(operator, schema, tuples_in):
+    out_schema = operator.output_schema(schema)
+    outputs = []
+    for tup in tuples_in:
+        outputs.extend(operator.process(tup, out_schema))
+    return out_schema, outputs
+
+
+class TestFilterOperator:
+    def test_passes_matching(self):
+        _, outputs = run(FilterOperator("x > 2"), SCHEMA, tuples(1, 3, 2, 5))
+        assert [t["x"] for t in outputs] == [3, 5]
+
+    def test_schema_unchanged(self):
+        schema, _ = run(FilterOperator("x > 2"), SCHEMA, [])
+        assert schema == SCHEMA
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            FilterOperator("zz > 2").output_schema(SCHEMA)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            FilterOperator("tag > 2").output_schema(SCHEMA)
+        with pytest.raises(SchemaError):
+            FilterOperator("x = 'abc'").output_schema(SCHEMA)
+
+    def test_string_filter(self):
+        operator = FilterOperator("tag = 'a'")
+        _, outputs = run(operator, SCHEMA, tuples(1, 2))
+        assert len(outputs) == 2
+
+    def test_fresh_copy_shares_condition(self):
+        operator = FilterOperator("x > 2")
+        clone = operator.fresh_copy()
+        assert clone is not operator
+        assert clone.condition == operator.condition
+
+
+class TestMapOperator:
+    def test_projection(self):
+        schema, outputs = run(MapOperator(["x"]), SCHEMA, tuples(1, 2))
+        assert schema.attribute_names == ("x",)
+        assert [t["x"] for t in outputs] == [1, 2]
+
+    def test_order_follows_schema(self):
+        schema, _ = run(MapOperator(["x", "t"]), SCHEMA, [])
+        assert schema.attribute_names == ("t", "x")
+
+    def test_case_insensitive_dedupe(self):
+        operator = MapOperator(["X", "x", "t"])
+        assert operator.attributes == ("X", "t")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            MapOperator([])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            MapOperator(["zz"]).output_schema(SCHEMA)
+
+
+class TestAggregationSpec:
+    def test_parse_colon_form(self):
+        spec = AggregationSpec.parse("rainrate:avg")
+        assert spec.attribute == "rainrate"
+        assert spec.function.name == "avg"
+
+    def test_parse_call_form(self):
+        spec = AggregationSpec.parse("avg(RainRate)")
+        assert spec.attribute == "rainrate"
+        assert spec.function.name == "avg"
+
+    def test_round_trip(self):
+        spec = AggregationSpec.parse("max(windspeed)")
+        assert spec.to_obligation_value() == "windspeed:max"
+        assert spec.to_call_syntax() == "max(windspeed)"
+
+    def test_malformed(self):
+        with pytest.raises(StreamError):
+            AggregationSpec.parse("justaname")
+        with pytest.raises(StreamError):
+            AggregationSpec.parse(":avg")
+
+
+class TestWindowSpec:
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            WindowSpec(WindowType.TUPLE, 0, 1)
+        with pytest.raises(StreamError):
+            WindowSpec(WindowType.TUPLE, 5, 0)
+
+    def test_refines(self):
+        policy = WindowSpec(WindowType.TUPLE, 5, 2)
+        assert WindowSpec(WindowType.TUPLE, 5, 2).refines(policy)
+        assert WindowSpec(WindowType.TUPLE, 10, 2).refines(policy)
+        assert not WindowSpec(WindowType.TUPLE, 4, 2).refines(policy)
+        assert not WindowSpec(WindowType.TUPLE, 5, 1).refines(policy)
+        assert not WindowSpec(WindowType.TIME, 5, 2).refines(policy)
+
+    def test_window_type_parse(self):
+        assert WindowType.parse("TUPLES") is WindowType.TUPLE
+        assert WindowType.parse("seconds") is WindowType.TIME
+        with pytest.raises(StreamError):
+            WindowType.parse("rows")
+
+
+class TestTupleWindows:
+    def test_size3_step2(self):
+        """Example 2's geometry: sums over (a0..a2), (a2..a4), ..."""
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 3, 2), [AggregationSpec.parse("x:sum")]
+        )
+        _, outputs = run(operator, SCHEMA, tuples(0, 1, 2, 3, 4, 5, 6))
+        assert [t["sumx"] for t in outputs] == [0 + 1 + 2, 2 + 3 + 4, 4 + 5 + 6]
+
+    def test_size5_step2_counts(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 5, 2), [AggregationSpec.parse("x:avg")]
+        )
+        _, outputs = run(operator, SCHEMA, tuples(*range(11)))
+        # Windows end at tuples 5, 7, 9, 11 → positions 4, 6, 8, 10.
+        assert len(outputs) == 4
+        assert outputs[0]["avgx"] == 2.0
+
+    def test_step_larger_than_size(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 2, 3), [AggregationSpec.parse("x:sum")]
+        )
+        _, outputs = run(operator, SCHEMA, tuples(*range(8)))
+        assert [t["sumx"] for t in outputs] == [0 + 1, 3 + 4, 6 + 7]
+
+    def test_multiple_aggregations(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 3, 3),
+            [AggregationSpec.parse("x:min"), AggregationSpec.parse("x:max"),
+             AggregationSpec.parse("t:lastval")],
+        )
+        schema, outputs = run(operator, SCHEMA, tuples(5, 1, 3))
+        assert schema.attribute_names == ("minx", "maxx", "lastvalt")
+        assert outputs[0].values == (1.0, 5.0, 2.0)
+
+    def test_duplicate_specs_deduplicated(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 2, 2),
+            [AggregationSpec.parse("x:avg"), AggregationSpec.parse("avg(x)")],
+        )
+        assert len(operator.aggregations) == 1
+
+    def test_no_aggregations_rejected(self):
+        with pytest.raises(StreamError):
+            AggregateOperator(WindowSpec(WindowType.TUPLE, 2, 2), [])
+
+    def test_fresh_copy_resets_state(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 2, 2), [AggregationSpec.parse("x:sum")]
+        )
+        _, outputs = run(operator, SCHEMA, tuples(1, 2))
+        assert len(outputs) == 1
+        clone = operator.fresh_copy()
+        _, outputs = run(clone, SCHEMA, tuples(3))
+        assert outputs == []  # fresh state: window not yet full
+
+
+class TestTimeWindows:
+    def test_time_window_basic(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TIME, 10, 10), [AggregationSpec.parse("x:sum")]
+        )
+        tuples_in = [
+            make_tuple(SCHEMA, {"t": t, "x": x, "tag": "a"})
+            for t, x in [(0.0, 1), (5.0, 2), (9.9, 3), (10.0, 4), (19.0, 5), (25.0, 6)]
+        ]
+        _, outputs = run(operator, SCHEMA, tuples_in)
+        # Window [0,10) → 1+2+3; window [10,20) closes when t=25 arrives.
+        assert [t["sumx"] for t in outputs] == [6.0, 9.0]
+
+    def test_sliding_time_window(self):
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TIME, 10, 5), [AggregationSpec.parse("x:count")]
+        )
+        tuples_in = [
+            make_tuple(SCHEMA, {"t": float(t), "x": 1.0, "tag": "a"})
+            for t in range(0, 30, 2)
+        ]
+        _, outputs = run(operator, SCHEMA, tuples_in)
+        assert all(t["countx"] == 5 for t in outputs)
+
+    def test_requires_time_attribute(self):
+        schema = Schema("s2", [("x", "double")])
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TIME, 10, 5), [AggregationSpec.parse("x:sum")]
+        )
+        with pytest.raises(SchemaError):
+            operator.output_schema(schema)
+
+    def test_explicit_time_attribute(self):
+        schema = Schema("s2", [("tick", "int"), ("x", "double")])
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TIME, 4, 4),
+            [AggregationSpec.parse("x:sum")],
+            time_attribute="tick",
+        )
+        out_schema = operator.output_schema(schema)
+        outputs = []
+        for tick in range(9):
+            outputs.extend(
+                operator.process(
+                    make_tuple(schema, {"tick": tick, "x": 1.0}), out_schema
+                )
+            )
+        assert [t["sumx"] for t in outputs] == [4.0, 4.0]

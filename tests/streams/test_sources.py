@@ -1,0 +1,66 @@
+"""Tests for the synthetic data sources."""
+
+from repro.streams.schema import GPS_SCHEMA, WEATHER_SCHEMA
+from repro.streams.sources import GpsSource, WeatherSource, integer_sequence_tuples
+from repro.streams.tuples import make_tuple
+
+
+class TestWeatherSource:
+    def test_records_match_schema(self):
+        for record in WeatherSource(seed=1).records(50):
+            make_tuple(WEATHER_SCHEMA, record)  # must not raise
+
+    def test_deterministic_with_seed(self):
+        assert WeatherSource(seed=5).records(20) == WeatherSource(seed=5).records(20)
+
+    def test_different_seeds_differ(self):
+        assert WeatherSource(seed=5).records(20) != WeatherSource(seed=6).records(20)
+
+    def test_sampling_interval(self):
+        records = WeatherSource(seed=1, interval_seconds=30.0).records(5)
+        gaps = [
+            records[i + 1]["samplingtime"] - records[i]["samplingtime"]
+            for i in range(4)
+        ]
+        assert gaps == [30.0] * 4
+
+    def test_rain_occurs_but_not_always(self):
+        records = WeatherSource(seed=3).records(1000)
+        rainy = sum(1 for r in records if r["rainrate"] > 5)
+        assert 0 < rainy < 1000
+
+    def test_value_sanity(self):
+        for record in WeatherSource(seed=2).records(200):
+            assert record["rainrate"] >= 0
+            assert 0 <= record["winddirection"] < 360
+            assert 0 <= record["humidity"] <= 100
+
+    def test_tuples_helper(self):
+        tuples = WeatherSource(seed=1).tuples(3)
+        assert len(tuples) == 3
+        assert tuples[0].schema == WEATHER_SCHEMA
+
+
+class TestGpsSource:
+    def test_records_match_schema(self):
+        for record in GpsSource(seed=1).records(40):
+            make_tuple(GPS_SCHEMA, record)
+
+    def test_devices_cycle(self):
+        records = GpsSource(seed=1, device_count=3).records(6)
+        ids = [r["deviceid"] for r in records]
+        assert ids[:3] == ids[3:]
+
+    def test_deterministic(self):
+        assert GpsSource(seed=9).records(10) == GpsSource(seed=9).records(10)
+
+    def test_positions_move(self):
+        records = GpsSource(seed=1, device_count=1).records(10)
+        positions = {(r["latitude"], r["longitude"]) for r in records}
+        assert len(positions) > 1
+
+
+class TestIntegerSequence:
+    def test_values_are_indices(self):
+        tuples = integer_sequence_tuples(5)
+        assert [t["a"] for t in tuples] == [0, 1, 2, 3, 4]

@@ -1,0 +1,100 @@
+"""Tests for streams and subscriptions."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.schema import Schema
+from repro.streams.stream import Stream
+from repro.streams.tuples import make_tuple
+
+SCHEMA = Schema("s", [("x", "int")])
+
+
+def tuples(*values):
+    return [make_tuple(SCHEMA, {"x": v}) for v in values]
+
+
+class TestAppend:
+    def test_append_and_snapshot(self):
+        stream = Stream("s", SCHEMA)
+        stream.extend(tuples(1, 2, 3))
+        assert [t["x"] for t in stream.snapshot()] == [1, 2, 3]
+        assert stream.total_appended == 3
+
+    def test_schema_mismatch(self):
+        other = Schema("o", [("y", "int")])
+        stream = Stream("s", SCHEMA)
+        with pytest.raises(StreamError):
+            stream.append(make_tuple(other, {"y": 1}))
+
+    def test_closed_stream_rejects(self):
+        stream = Stream("s", SCHEMA)
+        stream.close()
+        with pytest.raises(StreamError):
+            stream.extend(tuples(1))
+
+    def test_listeners_invoked_per_tuple(self):
+        stream = Stream("s", SCHEMA)
+        seen = []
+        stream.add_listener(lambda t: seen.append(t["x"]))
+        stream.extend(tuples(1, 2))
+        assert seen == [1, 2]
+
+    def test_remove_listener(self):
+        stream = Stream("s", SCHEMA)
+        seen = []
+        callback = lambda t: seen.append(t["x"])
+        stream.add_listener(callback)
+        stream.remove_listener(callback)
+        stream.extend(tuples(1))
+        assert seen == []
+
+
+class TestBoundedBuffer:
+    def test_tail_retained(self):
+        stream = Stream("s", SCHEMA, max_buffer=3)
+        stream.extend(tuples(1, 2, 3, 4, 5))
+        assert [t["x"] for t in stream.snapshot()] == [3, 4, 5]
+        assert stream.total_appended == 5
+
+    def test_fallen_behind_subscription_raises(self):
+        stream = Stream("s", SCHEMA, max_buffer=2)
+        subscription = stream.subscribe()
+        stream.extend(tuples(1, 2, 3, 4))
+        with pytest.raises(StreamError):
+            subscription.poll()
+
+    def test_bad_buffer_size(self):
+        with pytest.raises(StreamError):
+            Stream("s", SCHEMA, max_buffer=0)
+
+
+class TestSubscription:
+    def test_from_start(self):
+        stream = Stream("s", SCHEMA)
+        stream.extend(tuples(1, 2))
+        subscription = stream.subscribe(from_start=True)
+        assert [t["x"] for t in subscription.drain()] == [1, 2]
+
+    def test_from_now(self):
+        stream = Stream("s", SCHEMA)
+        stream.extend(tuples(1, 2))
+        subscription = stream.subscribe(from_start=False)
+        stream.extend(tuples(3))
+        assert [t["x"] for t in subscription.drain()] == [3]
+
+    def test_poll_limit_and_pending(self):
+        stream = Stream("s", SCHEMA)
+        stream.extend(tuples(1, 2, 3))
+        subscription = stream.subscribe()
+        assert subscription.pending == 3
+        assert [t["x"] for t in subscription.poll(2)] == [1, 2]
+        assert subscription.pending == 1
+
+    def test_independent_positions(self):
+        stream = Stream("s", SCHEMA)
+        first = stream.subscribe()
+        second = stream.subscribe()
+        stream.extend(tuples(1, 2))
+        first.drain()
+        assert second.pending == 2

@@ -1,0 +1,211 @@
+"""Tests for the StreamSQL dialect: lexer, parser, generator, round trip."""
+
+import pytest
+
+from repro.errors import StreamSQLError
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import WEATHER_SCHEMA, DataType
+from repro.streams.streamsql.generator import generate_streamsql
+from repro.streams.streamsql.lexer import SqlTokenType, tokenize_sql
+from repro.streams.streamsql.parser import parse_script, parse_streamsql
+from tests.conftest import build_nea_policy_graph
+
+#: The paper's Figure 4(b) script (typos normalised).
+FIGURE_4B = """
+CREATE INPUT STREAM weather (
+  samplingtime timestamp, temperature double,
+  humidity double, rainrate double,
+  windspeed double, winddirection int,
+  barometer double);
+CREATE STREAM internal_0;
+SELECT * FROM weather WHERE rainrate > 50 INTO internal_0;
+CREATE OUTPUT STREAM internal_1;
+SELECT internal_0.samplingtime, internal_0.rainrate,
+FROM internal_0 INTO internal_1;
+CREATE OUTPUT STREAM output;
+CREATE WINDOW _10tuple (SIZE 10 ADVANCE 2 TUPLES);
+SELECT lastval(samplingtime) AS lastvalsamplingtime,
+  avg(rainrate) AS avgrainrate
+FROM internal_1[_10tuple] INTO output;
+"""
+
+
+class TestLexer:
+    def test_statement_tokens(self):
+        tokens = tokenize_sql("SELECT * FROM w INTO o;")
+        kinds = [t.type for t in tokens[:-1]]
+        assert kinds == [
+            SqlTokenType.IDENT, SqlTokenType.STAR, SqlTokenType.IDENT,
+            SqlTokenType.IDENT, SqlTokenType.IDENT, SqlTokenType.IDENT,
+            SqlTokenType.SEMI,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize_sql("SELECT -- comment\n *")
+        assert len(tokens) == 3  # SELECT, *, END
+
+    def test_line_column_tracking(self):
+        tokens = tokenize_sql("a\nbb ccc")
+        assert tokens[1].line == 2
+        assert tokens[2].column == 4
+
+    def test_bad_character(self):
+        with pytest.raises(StreamSQLError):
+            tokenize_sql("SELECT $")
+
+
+class TestParsePaperScript:
+    def test_figure_4b_parses(self):
+        parsed = parse_streamsql(FIGURE_4B)
+        kinds = [op.kind for op in parsed.graph.operators]
+        assert kinds == ["filter", "map", "aggregate"]
+        assert parsed.graph.source == "weather"
+        assert parsed.output_name == "output"
+
+    def test_figure_4b_details(self):
+        parsed = parse_streamsql(FIGURE_4B)
+        graph = parsed.graph
+        assert graph.filter_operator.condition.to_condition_string() == "rainrate > 50"
+        assert graph.map_operator.attributes == ("samplingtime", "rainrate")
+        aggregate = graph.aggregate_operator
+        assert aggregate.window == WindowSpec(WindowType.TUPLE, 10, 2)
+        assert [s.to_obligation_value() for s in aggregate.aggregations] == [
+            "samplingtime:lastval", "rainrate:avg",
+        ]
+
+    def test_input_schema_extracted(self):
+        parsed = parse_streamsql(FIGURE_4B)
+        assert parsed.input_schema is not None
+        assert parsed.input_schema.field("samplingtime").dtype is DataType.TIMESTAMP
+        assert len(parsed.input_schema) == 7
+
+
+class TestParserErrors:
+    def test_no_select(self):
+        with pytest.raises(StreamSQLError):
+            parse_streamsql("CREATE STREAM a;")
+
+    def test_two_chain_heads(self):
+        script = (
+            "SELECT * FROM a WHERE x > 1 INTO o1;\n"
+            "SELECT * FROM b WHERE x > 1 INTO o2;\n"
+        )
+        with pytest.raises(StreamSQLError):
+            parse_streamsql(script)
+
+    def test_cycle_detected(self):
+        script = (
+            "SELECT * FROM a WHERE x > 1 INTO b;\n"
+            "SELECT * FROM b WHERE x > 1 INTO a;\n"
+        )
+        with pytest.raises(StreamSQLError):
+            parse_streamsql(script)
+
+    def test_undefined_window(self):
+        script = "SELECT avg(x) FROM s[w] INTO o;"
+        with pytest.raises(StreamSQLError):
+            parse_streamsql(script)
+
+    def test_aggregate_without_window(self):
+        script = "SELECT avg(x) FROM s INTO o;"
+        with pytest.raises(StreamSQLError):
+            parse_streamsql(script)
+
+    def test_windowed_select_requires_functions(self):
+        script = (
+            "CREATE WINDOW w (SIZE 2 ADVANCE 2 TUPLES);\n"
+            "SELECT x FROM s[w] INTO o;"
+        )
+        with pytest.raises(StreamSQLError):
+            parse_streamsql(script)
+
+    def test_missing_into(self):
+        with pytest.raises(StreamSQLError):
+            parse_streamsql("SELECT * FROM s WHERE x > 1;")
+
+    def test_statement_level_parse(self):
+        script = parse_script("CREATE STREAM a;\nCREATE OUTPUT STREAM b;")
+        assert len(script.statements) == 2
+
+
+class TestGenerator:
+    def test_nea_graph_generates_paper_shape(self):
+        graph = build_nea_policy_graph()
+        sql = generate_streamsql(graph, WEATHER_SCHEMA)
+        assert "CREATE INPUT STREAM weather" in sql
+        assert "SELECT * FROM weather WHERE rainrate > 5 INTO internal_0;" in sql
+        assert "CREATE WINDOW" in sql
+        assert "SIZE 5 ADVANCE 2 TUPLES" in sql
+        assert "lastval(samplingtime) AS lastvalsamplingtime" in sql
+        assert sql.count("SELECT") == 3
+
+    def test_passthrough_graph(self):
+        sql = generate_streamsql(QueryGraph("weather"))
+        assert "WHERE TRUE" in sql
+
+    def test_filter_only(self):
+        graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+        sql = generate_streamsql(graph)
+        assert "CREATE OUTPUT STREAM output;" in sql
+        assert "internal_0" not in sql
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: QueryGraph("weather").append(FilterOperator("rainrate > 5")),
+            lambda: QueryGraph("weather").append(MapOperator(["rainrate", "windspeed"])),
+            lambda: QueryGraph("weather").append(
+                AggregateOperator(
+                    WindowSpec(WindowType.TUPLE, 7, 3),
+                    [AggregationSpec.parse("rainrate:avg")],
+                )
+            ),
+            build_nea_policy_graph,
+        ],
+        ids=["filter", "map", "aggregate", "full-chain"],
+    )
+    def test_generate_then_parse(self, make_graph):
+        graph = make_graph()
+        sql = generate_streamsql(graph, WEATHER_SCHEMA)
+        parsed = parse_streamsql(sql)
+        assert [op.kind for op in parsed.graph.operators] == [
+            op.kind for op in graph.operators
+        ]
+        original_filter = graph.filter_operator
+        if original_filter is not None:
+            assert (
+                parsed.graph.filter_operator.condition.to_condition_string()
+                == original_filter.condition.to_condition_string()
+            )
+        original_map = graph.map_operator
+        if original_map is not None:
+            assert parsed.graph.map_operator.attribute_set() == original_map.attribute_set()
+        original_aggregate = graph.aggregate_operator
+        if original_aggregate is not None:
+            reparsed = parsed.graph.aggregate_operator
+            assert reparsed.window == original_aggregate.window
+            assert {s.key for s in reparsed.aggregations} == {
+                s.key for s in original_aggregate.aggregations
+            }
+
+    def test_time_window_round_trip(self):
+        graph = QueryGraph("weather").append(
+            AggregateOperator(
+                WindowSpec(WindowType.TIME, 60, 30),
+                [AggregationSpec.parse("temperature:avg")],
+            )
+        )
+        sql = generate_streamsql(graph, WEATHER_SCHEMA)
+        assert "SECONDS" in sql
+        parsed = parse_streamsql(sql)
+        assert parsed.graph.aggregate_operator.window.window_type is WindowType.TIME

@@ -1,0 +1,71 @@
+"""Tests for stream tuples."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.schema import DataType, Field, Schema
+from repro.streams.tuples import StreamTuple, make_tuple, make_tuples
+
+SCHEMA = Schema("s", [("t", "timestamp"), ("x", "double"), ("tag", "string")])
+
+
+def sample(t=0.0, x=1.5, tag="a"):
+    return make_tuple(SCHEMA, {"t": t, "x": x, "tag": tag})
+
+
+class TestMakeTuple:
+    def test_basic(self):
+        tup = sample()
+        assert tup["x"] == 1.5
+        assert tup["TAG"] == "a"
+
+    def test_coercion(self):
+        tup = make_tuple(SCHEMA, {"t": 3, "x": 2, "tag": "b"})
+        assert isinstance(tup["x"], float)
+
+    def test_missing_attribute(self):
+        with pytest.raises(SchemaError):
+            make_tuple(SCHEMA, {"t": 0.0, "x": 1.0})
+
+    def test_extra_attribute(self):
+        with pytest.raises(SchemaError):
+            make_tuple(SCHEMA, {"t": 0.0, "x": 1.0, "tag": "a", "zz": 1})
+
+    def test_duplicate_case_keys(self):
+        with pytest.raises(SchemaError):
+            make_tuple(SCHEMA, {"x": 1.0, "X": 2.0, "t": 0.0, "tag": "a"})
+
+    def test_make_tuples(self):
+        tuples = make_tuples(
+            SCHEMA, [{"t": 0, "x": 1, "tag": "a"}, {"t": 1, "x": 2, "tag": "b"}]
+        )
+        assert len(tuples) == 2
+
+
+class TestStreamTuple:
+    def test_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            StreamTuple(SCHEMA, (1.0, 2.0))
+
+    def test_as_dict_order(self):
+        assert list(sample().as_dict()) == ["t", "x", "tag"]
+
+    def test_projection(self):
+        projected_schema = SCHEMA.project(["x"])
+        projected = sample().project(projected_schema)
+        assert projected.values == (1.5,)
+
+    def test_contains(self):
+        assert "x" in sample()
+        assert "zz" not in sample()
+
+    def test_get_default(self):
+        assert sample().get("zz", 7) == 7
+
+    def test_equality_and_hash(self):
+        assert sample() == sample()
+        assert hash(sample()) == hash(sample())
+        assert sample(x=2.0) != sample()
+
+    def test_iteration(self):
+        assert list(sample()) == [0.0, 1.5, "a"]

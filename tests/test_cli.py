@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "eXACML+" in capsys.readouterr().out
+
+    def test_fig6a_reduced(self, capsys):
+        assert main(["fig6a", "--requests", "40", "--policies", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "exacml+" in out
+        assert "network share" in out
+
+    def test_fig6b_reduced(self, capsys):
+        assert main(["fig6b", "--requests", "60", "--policies", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "cache on" in out and "hit rate" in out
+
+    def test_fig7_reduced(self, capsys):
+        assert main(["fig7", "--requests", "30", "--policies", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "pdp" in out and "PDP mean" in out
+
+    def test_policy_load_reduced(self, capsys):
+        assert main(["policy-load", "--requests", "30", "--policies", "30"]) == 0
+        assert "mean" in capsys.readouterr().out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--tuples", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "attack blocked" in out
+
+    def test_seed_flag_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "5", "policy-load",
+                     "--requests", "20", "--policies", "20"]) == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_single_root(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (errors.SchemaError, errors.StreamError),
+            (errors.UnknownAttributeError, errors.SchemaError),
+            (errors.GraphError, errors.StreamError),
+            (errors.EngineError, errors.StreamError),
+            (errors.UnknownStreamError, errors.EngineError),
+            (errors.UnknownHandleError, errors.EngineError),
+            (errors.StreamSQLError, errors.StreamError),
+            (errors.ExpressionSyntaxError, errors.ExpressionError),
+            (errors.ExpressionTypeError, errors.ExpressionError),
+            (errors.PolicyParseError, errors.XacmlError),
+            (errors.PolicyStoreError, errors.XacmlError),
+            (errors.ObligationError, errors.XacmlError),
+            (errors.AccessDeniedError, errors.AccessControlError),
+            (errors.ConcurrentAccessError, errors.AccessControlError),
+            (errors.MergeError, errors.AccessControlError),
+            (errors.WindowRefinementError, errors.MergeError),
+            (errors.EmptyResultWarning, errors.AccessControlError),
+            (errors.PartialResultWarning, errors.AccessControlError),
+            (errors.TransportError, errors.FrameworkError),
+        ],
+    )
+    def test_parentage(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_catch_all_with_root(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WindowRefinementError("finer than policy")
+
+
+class TestErrorPayloads:
+    def test_concurrent_access_carries_context(self):
+        error = errors.ConcurrentAccessError("LTA", "weather")
+        assert error.subject == "LTA"
+        assert error.stream == "weather"
+        assert "Section 3.4" in str(error)
+
+    def test_nr_pr_carry_conflicts(self):
+        reports = ["report-a", "report-b"]
+        assert errors.EmptyResultWarning("nr", reports).conflicts == reports
+        assert errors.PartialResultWarning("pr").conflicts == []
+
+    def test_unknown_attribute_mentions_schema(self):
+        error = errors.UnknownAttributeError("zz", "weather")
+        assert "zz" in str(error) and "weather" in str(error)
+
+    def test_streamsql_error_position(self):
+        error = errors.StreamSQLError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_runs(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0

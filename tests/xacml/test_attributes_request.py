@@ -1,0 +1,96 @@
+"""Tests for XACML attributes and request contexts."""
+
+import pytest
+
+from repro.errors import XacmlError
+from repro.xacml.attributes import (
+    Attribute,
+    AttributeCategory,
+    AttributeValue,
+    XS_BOOLEAN,
+    XS_DOUBLE,
+    XS_INTEGER,
+    XS_STRING,
+)
+from repro.xacml.request import Request
+
+
+class TestAttributeValue:
+    def test_constructors(self):
+        assert AttributeValue.string("a").datatype == XS_STRING
+        assert AttributeValue.integer(5).value == 5
+        assert AttributeValue.double(1.5).datatype == XS_DOUBLE
+        assert AttributeValue.boolean(True).value is True
+
+    def test_infer(self):
+        assert AttributeValue.infer("a").datatype == XS_STRING
+        assert AttributeValue.infer(3).datatype == XS_INTEGER
+        assert AttributeValue.infer(3.5).datatype == XS_DOUBLE
+        assert AttributeValue.infer(True).datatype == XS_BOOLEAN
+
+    def test_infer_rejects_other(self):
+        with pytest.raises(XacmlError):
+            AttributeValue.infer([1, 2])
+
+    def test_parse_round_trip(self):
+        for value in (
+            AttributeValue.string("hello"),
+            AttributeValue.integer(-4),
+            AttributeValue.double(2.25),
+            AttributeValue.boolean(False),
+        ):
+            parsed = AttributeValue.parse(value.datatype, value.serialize())
+            assert parsed == value
+
+    def test_parse_errors(self):
+        with pytest.raises(XacmlError):
+            AttributeValue.parse(XS_INTEGER, "abc")
+        with pytest.raises(XacmlError):
+            AttributeValue.parse(XS_BOOLEAN, "maybe")
+
+    def test_unknown_datatype_preserved(self):
+        value = AttributeValue.parse("urn:custom", "raw")
+        assert value.value == "raw"
+        assert value.datatype == "urn:custom"
+
+
+class TestRequest:
+    def test_simple_constructor(self):
+        request = Request.simple("LTA", "weather", "read")
+        assert request.subject_id == "LTA"
+        assert request.resource_id == "weather"
+        assert request.action_id == "read"
+
+    def test_environment_attributes(self):
+        request = Request.simple("u", "r", environment={"hour": 13})
+        values = request.values_of(AttributeCategory.ENVIRONMENT, "hour")
+        assert values[0].value == 13
+
+    def test_multi_valued_attribute(self):
+        request = Request.simple("u", "r")
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT, "role", AttributeValue.string("analyst")
+            )
+        )
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT, "role", AttributeValue.string("admin")
+            )
+        )
+        roles = request.values_of(AttributeCategory.SUBJECT, "role")
+        assert [v.value for v in roles] == ["analyst", "admin"]
+
+    def test_first_value_missing(self):
+        request = Request()
+        assert request.first_value(AttributeCategory.SUBJECT, "x") is None
+        assert request.subject_id is None
+
+    def test_require_subject(self):
+        with pytest.raises(XacmlError):
+            Request().require_subject()
+
+    def test_all_attributes_ordering(self):
+        request = Request.simple("u", "r", "read")
+        ids = [a.attribute_id for a in request.all_attributes()]
+        assert len(ids) == 3

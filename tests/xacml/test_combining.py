@@ -1,0 +1,101 @@
+"""Tests for rule- and policy-combining algorithms."""
+
+import pytest
+
+from repro.errors import XacmlError
+from repro.xacml.combining import (
+    PolicyCombiningAlgorithm,
+    RuleCombiningAlgorithm,
+)
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Effect
+
+
+def rule(effect, subject=None, rule_id="r"):
+    target = Target.for_ids(subject=subject) if subject else None
+    return Rule(rule_id, effect, target=target)
+
+
+REQUEST = Request.simple("u", "r")
+
+
+class TestRuleCombining:
+    def test_unknown_algorithm(self):
+        with pytest.raises(XacmlError):
+            RuleCombiningAlgorithm.get("magic")
+
+    def test_first_applicable_order_matters(self):
+        algorithm = RuleCombiningAlgorithm.get("first-applicable")
+        assert algorithm.combine(
+            [rule(Effect.DENY), rule(Effect.PERMIT)], REQUEST
+        ) is Decision.DENY
+        assert algorithm.combine(
+            [rule(Effect.PERMIT), rule(Effect.DENY)], REQUEST
+        ) is Decision.PERMIT
+
+    def test_first_applicable_skips_inapplicable(self):
+        algorithm = RuleCombiningAlgorithm.get("first-applicable")
+        rules = [rule(Effect.DENY, subject="other"), rule(Effect.PERMIT)]
+        assert algorithm.combine(rules, REQUEST) is Decision.PERMIT
+
+    def test_permit_overrides(self):
+        algorithm = RuleCombiningAlgorithm.get("permit-overrides")
+        assert algorithm.combine(
+            [rule(Effect.DENY), rule(Effect.PERMIT)], REQUEST
+        ) is Decision.PERMIT
+        assert algorithm.combine([rule(Effect.DENY)], REQUEST) is Decision.DENY
+        assert algorithm.combine(
+            [rule(Effect.DENY, subject="other")], REQUEST
+        ) is Decision.NOT_APPLICABLE
+
+    def test_deny_overrides(self):
+        algorithm = RuleCombiningAlgorithm.get("deny-overrides")
+        assert algorithm.combine(
+            [rule(Effect.PERMIT), rule(Effect.DENY)], REQUEST
+        ) is Decision.DENY
+        assert algorithm.combine([rule(Effect.PERMIT)], REQUEST) is Decision.PERMIT
+
+    def test_deny_unless_permit(self):
+        algorithm = RuleCombiningAlgorithm.get("deny-unless-permit")
+        assert algorithm.combine([], REQUEST) is Decision.DENY
+        assert algorithm.combine([rule(Effect.PERMIT)], REQUEST) is Decision.PERMIT
+
+
+def policy(effect, policy_id, subject=None):
+    target = Target.for_ids(subject=subject) if subject else None
+    return Policy(policy_id, target=target, rules=[Rule("r", effect)])
+
+
+class TestPolicyCombining:
+    def test_first_applicable_returns_deciding_policy(self):
+        algorithm = PolicyCombiningAlgorithm.get("first-applicable")
+        policies = [
+            policy(Effect.PERMIT, "p-other", subject="other"),
+            policy(Effect.PERMIT, "p-match"),
+        ]
+        decision, deciding = algorithm.combine(policies, REQUEST)
+        assert decision is Decision.PERMIT
+        assert deciding.policy_id == "p-match"
+
+    def test_not_applicable_has_no_policy(self):
+        algorithm = PolicyCombiningAlgorithm.get("first-applicable")
+        decision, deciding = algorithm.combine(
+            [policy(Effect.PERMIT, "p", subject="other")], REQUEST
+        )
+        assert decision is Decision.NOT_APPLICABLE
+        assert deciding is None
+
+    def test_permit_overrides_prefers_permit(self):
+        algorithm = PolicyCombiningAlgorithm.get("permit-overrides")
+        policies = [policy(Effect.DENY, "p-deny"), policy(Effect.PERMIT, "p-permit")]
+        decision, deciding = algorithm.combine(policies, REQUEST)
+        assert decision is Decision.PERMIT
+        assert deciding.policy_id == "p-permit"
+
+    def test_deny_overrides_prefers_deny(self):
+        algorithm = PolicyCombiningAlgorithm.get("deny-overrides")
+        policies = [policy(Effect.PERMIT, "p-permit"), policy(Effect.DENY, "p-deny")]
+        decision, deciding = algorithm.combine(policies, REQUEST)
+        assert decision is Decision.DENY
+        assert deciding.policy_id == "p-deny"

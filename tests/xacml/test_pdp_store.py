@@ -1,0 +1,100 @@
+"""Tests for the policy store and PDP."""
+
+import pytest
+
+from repro.errors import PolicyStoreError
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Effect, Obligation
+from repro.xacml.store import PolicyStore
+
+
+def make_policy(policy_id, subject=None, resource=None, effect=Effect.PERMIT,
+                obligations=()):
+    return Policy(
+        policy_id,
+        target=Target.for_ids(subject=subject, resource=resource),
+        rules=[Rule(f"{policy_id}:rule", effect)],
+        obligations=obligations,
+    )
+
+
+class TestPolicyStore:
+    def test_load_get_remove(self):
+        store = PolicyStore()
+        store.load(make_policy("p1"))
+        assert "p1" in store
+        assert store.get("p1").policy_id == "p1"
+        removed = store.remove("p1")
+        assert removed.policy_id == "p1"
+        assert "p1" not in store
+
+    def test_duplicate_load_rejected(self):
+        store = PolicyStore()
+        store.load(make_policy("p1"))
+        with pytest.raises(PolicyStoreError):
+            store.load(make_policy("p1"))
+
+    def test_update_requires_existing(self):
+        store = PolicyStore()
+        with pytest.raises(PolicyStoreError):
+            store.update(make_policy("p1"))
+
+    def test_remove_requires_existing(self):
+        with pytest.raises(PolicyStoreError):
+            PolicyStore().remove("p1")
+
+    def test_listeners_see_events(self):
+        store = PolicyStore()
+        events = []
+        store.add_listener(lambda event, policy: events.append((event, policy.policy_id)))
+        store.load(make_policy("p1"))
+        store.update(make_policy("p1"))
+        store.remove("p1")
+        assert events == [("loaded", "p1"), ("updated", "p1"), ("removed", "p1")]
+
+    def test_load_order_preserved(self):
+        store = PolicyStore()
+        for i in range(5):
+            store.load(make_policy(f"p{i}"))
+        assert [p.policy_id for p in store.policies()] == [f"p{i}" for i in range(5)]
+
+
+class TestPdp:
+    def test_permit_with_obligations(self):
+        store = PolicyStore()
+        obligation = Obligation("ob1", Effect.PERMIT)
+        store.load(make_policy("p1", subject="LTA", obligations=[obligation]))
+        pdp = PolicyDecisionPoint(store)
+        response = pdp.evaluate(Request.simple("LTA", "anything"))
+        assert response.decision is Decision.PERMIT
+        assert response.permitted
+        assert response.policy_id == "p1"
+        assert response.obligations == (obligation,)
+
+    def test_not_applicable(self):
+        pdp = PolicyDecisionPoint(PolicyStore())
+        response = pdp.evaluate(Request.simple("u", "r"))
+        assert response.decision is Decision.NOT_APPLICABLE
+        assert response.policy_id is None
+        assert not response.permitted
+
+    def test_deny(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", effect=Effect.DENY))
+        response = PolicyDecisionPoint(store).evaluate(Request.simple("u", "r"))
+        assert response.decision is Decision.DENY
+
+    def test_first_applicable_across_policies(self):
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-gps", resource="gps"))
+        pdp = PolicyDecisionPoint(store)
+        assert pdp.evaluate(Request.simple("u", "gps")).policy_id == "p-gps"
+
+    def test_evaluation_counter(self):
+        pdp = PolicyDecisionPoint(PolicyStore())
+        pdp.evaluate(Request.simple("u", "r"))
+        pdp.evaluate(Request.simple("u", "r"))
+        assert pdp.evaluations == 2

@@ -1,0 +1,136 @@
+"""Tests for targets, rules, conditions and policy evaluation."""
+
+import pytest
+
+from repro.errors import XacmlError
+from repro.xacml.attributes import (
+    AttributeCategory,
+    AttributeValue,
+)
+from repro.xacml.functions import (
+    DOUBLE_GREATER_THAN,
+    STRING_REGEXP_MATCH,
+    apply_function,
+    get_function,
+)
+from repro.xacml.policy import Condition, Match, Policy, Rule, Target
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Effect
+
+
+class TestFunctions:
+    def test_unknown_function(self):
+        with pytest.raises(XacmlError):
+            get_function("no-such-fn")
+
+    def test_regexp_match(self):
+        assert apply_function(
+            STRING_REGEXP_MATCH,
+            AttributeValue.string("weather3"),
+            AttributeValue.string("weather[0-9]+"),
+        )
+
+    def test_type_mismatch_is_no_match(self):
+        assert not apply_function(
+            DOUBLE_GREATER_THAN,
+            AttributeValue.string("abc"),
+            AttributeValue.double(1.0),
+        )
+
+
+class TestTarget:
+    def test_empty_target_matches_all(self):
+        assert Target().matches(Request.simple("anyone", "anything"))
+        assert Target().is_any
+
+    def test_for_ids(self):
+        target = Target.for_ids(subject="LTA", resource="weather", action="read")
+        assert target.matches(Request.simple("LTA", "weather", "read"))
+        assert not target.matches(Request.simple("NEA", "weather", "read"))
+        assert not target.matches(Request.simple("LTA", "gps", "read"))
+        assert not target.matches(Request.simple("LTA", "weather", "write"))
+
+    def test_alternatives_any_of(self):
+        target = Target(
+            subjects=[
+                [Match(AttributeCategory.SUBJECT,
+                       "urn:oasis:names:tc:xacml:1.0:subject:subject-id",
+                       AttributeValue.string("LTA"))],
+                [Match(AttributeCategory.SUBJECT,
+                       "urn:oasis:names:tc:xacml:1.0:subject:subject-id",
+                       AttributeValue.string("NEA"))],
+            ]
+        )
+        assert target.matches(Request.simple("LTA", "x"))
+        assert target.matches(Request.simple("NEA", "x"))
+        assert not target.matches(Request.simple("PUB", "x"))
+
+
+class TestRule:
+    def test_effects(self):
+        permit = Rule("r1", Effect.PERMIT)
+        deny = Rule("r2", Effect.DENY)
+        request = Request.simple("u", "r")
+        assert permit.evaluate(request) is Decision.PERMIT
+        assert deny.evaluate(request) is Decision.DENY
+
+    def test_rule_target_gates(self):
+        rule = Rule("r1", Effect.PERMIT, target=Target.for_ids(subject="LTA"))
+        assert rule.evaluate(Request.simple("NEA", "r")) is Decision.NOT_APPLICABLE
+
+    def test_condition_gates(self):
+        condition = Condition(
+            AttributeCategory.ENVIRONMENT, "hour",
+            "integer-less-than", AttributeValue.integer(18),
+        )
+        rule = Rule("r1", Effect.PERMIT, condition=condition)
+        before = Request.simple("u", "r", environment={"hour": 9})
+        after = Request.simple("u", "r", environment={"hour": 21})
+        assert rule.evaluate(before) is Decision.PERMIT
+        assert rule.evaluate(after) is Decision.NOT_APPLICABLE
+
+    def test_rule_needs_id(self):
+        with pytest.raises(XacmlError):
+            Rule("", Effect.PERMIT)
+
+
+class TestPolicy:
+    def test_policy_needs_rules(self):
+        with pytest.raises(XacmlError):
+            Policy("p", rules=[])
+
+    def test_first_applicable(self):
+        policy = Policy(
+            "p",
+            rules=[
+                Rule("deny-writes", Effect.DENY,
+                     target=Target.for_ids(action="write")),
+                Rule("allow-rest", Effect.PERMIT),
+            ],
+            rule_combining="first-applicable",
+        )
+        assert policy.evaluate(Request.simple("u", "r", "write")) is Decision.DENY
+        assert policy.evaluate(Request.simple("u", "r", "read")) is Decision.PERMIT
+
+    def test_policy_target_gate(self):
+        policy = Policy(
+            "p",
+            target=Target.for_ids(resource="weather"),
+            rules=[Rule("r", Effect.PERMIT)],
+        )
+        assert policy.evaluate(Request.simple("u", "gps")) is Decision.NOT_APPLICABLE
+
+    def test_obligations_for_decision(self):
+        from repro.xacml.response import Obligation
+
+        policy = Policy(
+            "p",
+            rules=[Rule("r", Effect.PERMIT)],
+            obligations=[
+                Obligation("ob-permit", Effect.PERMIT),
+                Obligation("ob-deny", Effect.DENY),
+            ],
+        )
+        permit_obligations = policy.obligations_for(Decision.PERMIT)
+        assert [o.obligation_id for o in permit_obligations] == ["ob-permit"]
+        assert policy.obligations_for(Decision.NOT_APPLICABLE) == []

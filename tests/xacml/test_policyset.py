@@ -1,0 +1,149 @@
+"""Tests for XACML policy sets."""
+
+import pytest
+
+from repro.errors import XacmlError
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.policyset import PolicySet
+from repro.xacml.request import Request
+from repro.xacml.response import Decision, Effect, Obligation
+
+
+def permit_policy(policy_id, subject=None, obligations=()):
+    return Policy(
+        policy_id,
+        target=Target.for_ids(subject=subject),
+        rules=[Rule(f"{policy_id}:r", Effect.PERMIT)],
+        obligations=obligations,
+    )
+
+
+def deny_policy(policy_id, subject=None):
+    return Policy(
+        policy_id,
+        target=Target.for_ids(subject=subject),
+        rules=[Rule(f"{policy_id}:r", Effect.DENY)],
+    )
+
+
+class TestEvaluation:
+    def test_needs_children(self):
+        with pytest.raises(XacmlError):
+            PolicySet("empty")
+
+    def test_target_gates_whole_set(self):
+        policy_set = PolicySet(
+            "agency",
+            target=Target.for_ids(resource="weather"),
+            children=[permit_policy("p1")],
+        )
+        assert policy_set.evaluate(Request.simple("u", "gps")) is Decision.NOT_APPLICABLE
+        assert policy_set.evaluate(Request.simple("u", "weather")) is Decision.PERMIT
+
+    def test_first_applicable_resolution(self):
+        policy_set = PolicySet(
+            "agency",
+            children=[
+                deny_policy("blacklist", subject="banned"),
+                permit_policy("default"),
+            ],
+        )
+        assert policy_set.evaluate(Request.simple("banned", "r")) is Decision.DENY
+        assert policy_set.evaluate(Request.simple("anyone", "r")) is Decision.PERMIT
+
+    def test_deny_overrides(self):
+        policy_set = PolicySet(
+            "strict",
+            children=[permit_policy("p"), deny_policy("d")],
+            policy_combining="deny-overrides",
+        )
+        assert policy_set.evaluate(Request.simple("u", "r")) is Decision.DENY
+
+    def test_deciding_leaf_through_nesting(self):
+        inner = PolicySet("inner", children=[permit_policy("leaf", subject="LTA")])
+        outer = PolicySet("outer", children=[deny_policy("d", subject="x"), inner])
+        decision, leaf = outer.evaluate_with_policy(Request.simple("LTA", "r"))
+        assert decision is Decision.PERMIT
+        assert leaf.policy_id == "leaf"
+
+    def test_flatten(self):
+        inner = PolicySet("inner", children=[permit_policy("a"), permit_policy("b")])
+        outer = PolicySet("outer", children=[inner, permit_policy("c")])
+        assert [p.policy_id for p in outer.flatten()] == ["a", "b", "c"]
+
+
+class TestObligationAccumulation:
+    def test_set_and_leaf_obligations_combined(self):
+        audit = Obligation("org:audit", Effect.PERMIT)
+        leaf_obligation = Obligation("stream:filter", Effect.PERMIT)
+        policy_set = PolicySet(
+            "org",
+            children=[permit_policy("leaf", obligations=[leaf_obligation])],
+            obligations=[audit],
+        )
+        decision, obligations = policy_set.accumulated_obligations(
+            Request.simple("u", "r")
+        )
+        assert decision is Decision.PERMIT
+        assert [o.obligation_id for o in obligations] == ["org:audit", "stream:filter"]
+
+    def test_nested_accumulation_order_outermost_first(self):
+        leaf = permit_policy("leaf", obligations=[Obligation("leaf:ob", Effect.PERMIT)])
+        inner = PolicySet(
+            "inner", children=[leaf],
+            obligations=[Obligation("inner:ob", Effect.PERMIT)],
+        )
+        outer = PolicySet(
+            "outer", children=[inner],
+            obligations=[Obligation("outer:ob", Effect.PERMIT)],
+        )
+        _, obligations = outer.accumulated_obligations(Request.simple("u", "r"))
+        assert [o.obligation_id for o in obligations] == [
+            "outer:ob", "inner:ob", "leaf:ob",
+        ]
+
+    def test_not_applicable_yields_nothing(self):
+        policy_set = PolicySet(
+            "org",
+            target=Target.for_ids(resource="weather"),
+            children=[permit_policy("leaf")],
+            obligations=[Obligation("org:audit", Effect.PERMIT)],
+        )
+        decision, obligations = policy_set.accumulated_obligations(
+            Request.simple("u", "gps")
+        )
+        assert decision is Decision.NOT_APPLICABLE
+        assert obligations == []
+
+    def test_deny_obligations_filtered(self):
+        policy_set = PolicySet(
+            "org",
+            children=[permit_policy("leaf")],
+            obligations=[
+                Obligation("on-permit", Effect.PERMIT),
+                Obligation("on-deny", Effect.DENY),
+            ],
+        )
+        _, obligations = policy_set.accumulated_obligations(Request.simple("u", "r"))
+        assert [o.obligation_id for o in obligations] == ["on-permit"]
+
+
+class TestIntegrationWithStreamObligations:
+    def test_policy_set_drives_obligation_graph(self):
+        """A per-agency set whose leaf carries a stream query graph."""
+        from repro.core.obligations import graph_to_obligations, obligations_to_graph
+        from repro.streams.graph import QueryGraph
+        from repro.streams.operators import FilterOperator
+
+        graph = QueryGraph("weather").append(FilterOperator("rainrate > 5"))
+        leaf = permit_policy("nea:lta", subject="LTA",
+                             obligations=graph_to_obligations(graph))
+        agency = PolicySet(
+            "nea", target=Target.for_ids(resource=None), children=[leaf],
+        )
+        decision, obligations = agency.accumulated_obligations(
+            Request.simple("LTA", "weather")
+        )
+        assert decision is Decision.PERMIT
+        rebuilt = obligations_to_graph(obligations, "weather")
+        assert rebuilt.filter_operator.condition.to_condition_string() == "rainrate > 5"
