@@ -18,7 +18,7 @@ from repro.core.pep import PepResult, PolicyEnforcementPoint
 from repro.core.user_query import UserQuery
 from repro.streams.engine import StreamEngine
 from repro.streams.handles import StreamHandle
-from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.pdp import DEFAULT_CACHE_SIZE, PolicyDecisionPoint
 from repro.xacml.policy import Policy
 from repro.xacml.request import Request
 from repro.xacml.store import PolicyStore
@@ -35,10 +35,16 @@ class XacmlPlusInstance:
         enforce_single_access: bool = True,
         allow_partial_results: bool = False,
         clock=None,
+        pdp_use_index: bool = True,
+        pdp_cache_size: Optional[int] = None,
     ):
         self.engine = engine if engine is not None else StreamEngine()
         self.store = PolicyStore()
-        self.pdp = PolicyDecisionPoint(self.store)
+        self.pdp = PolicyDecisionPoint(
+            self.store,
+            use_index=pdp_use_index,
+            cache_size=DEFAULT_CACHE_SIZE if pdp_cache_size is None else pdp_cache_size,
+        )
         self.access_registry = AccessRegistry(enforce=enforce_single_access)
         self.graph_manager = QueryGraphManager(
             self.engine, self.store, self.access_registry

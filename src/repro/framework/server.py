@@ -54,6 +54,8 @@ class DataServer:
         enforce_single_access: bool = True,
         allow_partial_results: bool = False,
         name: str = "server",
+        pdp_use_index: bool = True,
+        pdp_cache_size: Optional[int] = None,
     ):
         self.network = network
         self.name = name
@@ -62,6 +64,8 @@ class DataServer:
             merge_options=merge_options,
             enforce_single_access=enforce_single_access,
             allow_partial_results=allow_partial_results,
+            pdp_use_index=pdp_use_index,
+            pdp_cache_size=pdp_cache_size,
         )
         #: Count of requests processed (all outcomes).
         self.requests_processed = 0
@@ -76,6 +80,17 @@ class DataServer:
             policy = parse_policy_xml(policy)
         delay = self.network.policy_load()
         self.instance.load_policy(policy)
+        return delay
+
+    def update_policy(self, policy: Union[Policy, str, PolicyLoadMessage]) -> float:
+        """Replace a loaded policy; spawned query graphs are revoked and
+        the PDP's decision cache is flushed before the call returns."""
+        if isinstance(policy, PolicyLoadMessage):
+            policy = policy.policy_xml
+        if isinstance(policy, str):
+            policy = parse_policy_xml(policy)
+        delay = self.network.policy_load()
+        self.instance.update_policy(policy)
         return delay
 
     def remove_policy(self, policy_id: str) -> float:

@@ -44,8 +44,19 @@ class RegisteredQuery:
         source.add_listener(self._listener)
 
     def _on_tuple(self, tup: StreamTuple) -> None:
-        for out in self.instance.process(tup):
-            self.output.append(out)
+        # The guard makes mid-batch (and mid-dispatch) withdrawal safe:
+        # a withdrawn query may still sit in an in-flight listener
+        # snapshot, and must neither process the tuple nor append to its
+        # closed output stream.
+        if not self.active:
+            return
+        outputs = self.instance.process(tup)
+        if not outputs:
+            return
+        if len(outputs) == 1:
+            self.output.append(outputs[0])
+        else:
+            self.output.append_batch(outputs)
 
     def withdraw(self) -> None:
         """Detach from the input stream and close the output."""
@@ -90,14 +101,42 @@ class StreamEngine:
             record = make_tuple(stream.schema, record)
         stream.append(record)
 
+    #: Records per dispatch chunk: large enough to amortize the
+    #: per-append overhead, small enough that an unbounded generator
+    #: never materializes in memory (push stays O(chunk), like the old
+    #: per-record loop).
+    INGEST_CHUNK = 4096
+
+    def push_batch(
+        self, stream_name: str, records: Iterable[Union[StreamTuple, Mapping[str, Any]]]
+    ) -> int:
+        """Append many records with one catalog lookup and one dispatch
+        per :attr:`INGEST_CHUNK` records.
+
+        Output-equivalent to pushing each record individually (tuples are
+        still delivered to every query in order, one at a time), but the
+        per-push overhead — catalog lookup, listener snapshot, schema
+        check, buffer trim — is amortized over each chunk.
+        """
+        stream = self.catalog.get(stream_name)
+        schema = stream.schema
+        count = 0
+        chunk: List[StreamTuple] = []
+        for record in records:
+            chunk.append(
+                record if isinstance(record, StreamTuple) else make_tuple(schema, record)
+            )
+            if len(chunk) >= self.INGEST_CHUNK:
+                count += stream.append_batch(chunk)
+                chunk = []
+        if chunk:
+            count += stream.append_batch(chunk)
+        return count
+
     def push_many(
         self, stream_name: str, records: Iterable[Union[StreamTuple, Mapping[str, Any]]]
     ) -> int:
-        count = 0
-        for record in records:
-            self.push(stream_name, record)
-            count += 1
-        return count
+        return self.push_batch(stream_name, records)
 
     # -- continuous queries ------------------------------------------------------
 

@@ -61,9 +61,63 @@ class Stream:
         for listener in list(self._listeners):
             listener(tup)
 
+    def append_batch(self, tuples: Iterable[StreamTuple]) -> int:
+        """Append many tuples with amortized dispatch; returns the count.
+
+        Listener-visible semantics match N single :meth:`append` calls
+        exactly — tuples are delivered one at a time, in order, to every
+        listener — but the per-append overhead (closed check, schema
+        validation, listener-list snapshot, overflow trim) is paid once
+        per batch.  Two deliberate differences from the per-append path:
+
+        - validation is atomic: every tuple's schema is checked before
+          any is appended, so a bad batch changes nothing;
+        - the buffer is trimmed to ``max_buffer`` once at the end, so it
+          may transiently exceed the bound while the batch is in flight.
+
+        The listener snapshot spans the whole batch: a listener removed
+        mid-batch (e.g. a query withdrawn by another listener's callback)
+        keeps receiving the remaining tuples and must guard itself, which
+        :class:`~repro.streams.engine.RegisteredQuery` does.
+        """
+        batch = tuples if isinstance(tuples, list) else list(tuples)
+        if not batch:
+            return 0
+        if self._closed:
+            raise StreamError(f"stream {self.name!r} is closed")
+        schema = self.schema
+        for tup in batch:
+            if tup.schema is not schema and tup.schema != schema:
+                raise StreamError(
+                    f"tuple schema {tup.schema.name!r} does not match stream "
+                    f"{self.name!r} schema {self.schema.name!r}"
+                )
+        listeners = list(self._listeners)
+        if listeners:
+            buffer_append = self._buffer.append
+            for tup in batch:
+                buffer_append(tup)
+                for listener in listeners:
+                    listener(tup)
+        else:
+            self._buffer.extend(batch)
+        if len(self._buffer) > self.max_buffer:
+            overflow = len(self._buffer) - self.max_buffer
+            del self._buffer[:overflow]
+            self._base += overflow
+        return len(batch)
+
     def extend(self, tuples: Iterable[StreamTuple]) -> None:
+        """Append from an iterable, chunked so memory stays O(chunk)
+        even for unbounded generators (batches get the amortized path)."""
+        chunk: List[StreamTuple] = []
         for tup in tuples:
-            self.append(tup)
+            chunk.append(tup)
+            if len(chunk) >= 4096:
+                self.append_batch(chunk)
+                chunk = []
+        if chunk:
+            self.append_batch(chunk)
 
     def close(self) -> None:
         """Mark the stream complete; further appends raise."""

@@ -20,6 +20,7 @@ from repro.xacml.response import Decision, Obligation, Response
 from repro.xacml.policy import Condition, Match, Policy, Rule, Target
 from repro.xacml.policyset import PolicySet
 from repro.xacml.combining import RuleCombiningAlgorithm, PolicyCombiningAlgorithm
+from repro.xacml.index import PolicyIndex
 from repro.xacml.pdp import PolicyDecisionPoint
 from repro.xacml.store import PolicyStore
 from repro.xacml.xml_io import (
@@ -46,6 +47,7 @@ __all__ = [
     "RuleCombiningAlgorithm",
     "PolicyCombiningAlgorithm",
     "PolicyDecisionPoint",
+    "PolicyIndex",
     "PolicyStore",
     "parse_policy_xml",
     "parse_request_xml",

@@ -4,16 +4,39 @@
 policies, the result of which are permit or deny decisions ... In
 addition to permit/deny decision, the PDP also returns a set of
 obligations to the PEP." (paper Section 2.1)
+
+The seed implementation scanned every loaded policy for every request.
+This PDP adds two fast paths, both individually switchable so the seed
+behaviour stays available as a reference mode for differential testing
+(:meth:`PolicyDecisionPoint.reference`):
+
+- **indexed candidate selection** — the store's target index narrows the
+  scan to the plausibly applicable policies (see
+  :meth:`~repro.xacml.store.PolicyStore.policies_for`);
+- **decision caching** — an LRU cache from the request fingerprint to
+  the full response (decision, obligations, deciding policy).  The cache
+  is cleared on *every* store event, including loads: a newly loaded
+  policy can turn a cached NotApplicable into a Permit just as a removal
+  can revoke a cached Permit.
+
+Both paths are decision- and obligation-identical to the linear scan for
+the built-in combining algorithms, which ignore NotApplicable policies.
+A custom :class:`~repro.xacml.combining.PolicyCombiningAlgorithm` that
+is sensitive to non-applicable entries must use a reference PDP.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from repro.xacml.combining import PolicyCombiningAlgorithm
 from repro.xacml.request import Request
 from repro.xacml.response import Decision, Response
 from repro.xacml.store import PolicyStore
+
+#: Default number of cached decisions.
+DEFAULT_CACHE_SIZE = 4096
 
 
 class PolicyDecisionPoint:
@@ -23,17 +46,80 @@ class PolicyDecisionPoint:
         self,
         store: Optional[PolicyStore] = None,
         combining: str = "first-applicable",
+        use_index: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         self.store = store if store is not None else PolicyStore()
         self.combining = combining
+        self.use_index = use_index
+        self.cache_size = cache_size
         #: Number of evaluations performed (exported to the benchmarks).
         self.evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Number of store events that flushed the decision cache.
+        self.cache_invalidations = 0
+        self._cache: "OrderedDict[tuple, Response]" = OrderedDict()
+        # Only a caching PDP needs store events (the index lives in the
+        # store itself), so cache-less PDPs — reference mode included —
+        # don't pin themselves to the store's listener list.
+        if cache_size > 0:
+            self.store.add_listener(self._on_store_event)
+
+    @classmethod
+    def reference(
+        cls,
+        store: Optional[PolicyStore] = None,
+        combining: str = "first-applicable",
+    ) -> "PolicyDecisionPoint":
+        """A PDP on the seed linear-scan path: no index, no cache."""
+        return cls(store, combining, use_index=False, cache_size=0)
+
+    def detach(self) -> None:
+        """Unregister from the store and drop the cache.
+
+        Call when discarding a transient PDP over a long-lived store, so
+        the store's listener list doesn't keep the PDP (and its cache)
+        alive and invoked forever.
+        """
+        self.store.remove_listener(self._on_store_event)
+        self._cache.clear()
+
+    def _on_store_event(self, event: str, policy) -> None:
+        # Any change to the policy population can change any decision
+        # (loads included — a cached NotApplicable may become Permit), so
+        # revocation correctness requires a full flush.
+        if self._cache:
+            self._cache.clear()
+        self.cache_invalidations += 1
 
     def evaluate(self, request: Request) -> Response:
         """Evaluate *request*; return decision + deciding policy's obligations."""
         self.evaluations += 1
+        caching = self.cache_size > 0
+        if caching:
+            key = request.fingerprint()
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        response = self._evaluate_uncached(request)
+        if caching:
+            self._cache[key] = response
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return response
+
+    def _evaluate_uncached(self, request: Request) -> Response:
         algorithm = PolicyCombiningAlgorithm.get(self.combining)
-        decision, policy = algorithm.combine(self.store.policies(), request)
+        candidates = (
+            self.store.policies_for(request)
+            if self.use_index
+            else self.store.policies()
+        )
+        decision, policy = algorithm.combine(candidates, request)
         if policy is None:
             return Response(
                 Decision.NOT_APPLICABLE,
@@ -44,3 +130,18 @@ class PolicyDecisionPoint:
             obligations=policy.obligations_for(decision),
             policy_id=policy.policy_id,
         )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def cache_stats(self) -> dict:
+        """Counters for monitoring, benchmarks and tests."""
+        return {
+            "entries": len(self._cache),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.cache_invalidations,
+            "hit_rate": self.cache_hit_rate,
+        }

@@ -94,6 +94,33 @@ class Request:
         value = self.first_value(AttributeCategory.ACTION, ACTION_ID)
         return None if value is None else str(value)
 
+    def fingerprint(self) -> tuple:
+        """A hashable canonical form of the full request content.
+
+        Two requests with equal fingerprints are indistinguishable to the
+        PDP: target matches and conditions quantify over the *set* of
+        values bound to an attribute (``any(...)``), so attribute order
+        and duplicates cannot affect a decision and the fingerprint is
+        sorted.  Values are keyed by datatype, concrete Python type and
+        string rendering so ``1``, ``1.0``, ``True`` and ``"1"`` never
+        collapse onto one cache entry.
+        """
+        items = []
+        for category, attributes in self._by_category.items():
+            for attribute in attributes:
+                value = attribute.value
+                items.append(
+                    (
+                        category.value,
+                        attribute.attribute_id,
+                        value.datatype,
+                        value.value.__class__.__name__,
+                        str(value.value),
+                    )
+                )
+        items.sort()
+        return tuple(items)
+
     def require_subject(self) -> str:
         subject = self.subject_id
         if subject is None:

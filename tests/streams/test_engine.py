@@ -152,3 +152,134 @@ class TestEngine:
         engine.withdraw(handle)
         assert engine.total_registered == 2
         assert len(engine.active_queries()) == 1
+
+
+def make_windowed_graph():
+    """Filter + sliding-window aggregate — sensitive to tuple ordering."""
+    from repro.streams.operators import AggregateOperator, AggregationSpec, WindowSpec, WindowType
+
+    return (
+        QueryGraph("s")
+        .append(FilterOperator("x > 1"))
+        .append(
+            AggregateOperator(
+                WindowSpec(WindowType.TUPLE, 3, 2),
+                [AggregationSpec.parse("x:avg")],
+            )
+        )
+    )
+
+
+class TestBatchedDispatch:
+    """`push_batch` must be output-equivalent to N single pushes."""
+
+    def make_engine(self):
+        engine = StreamEngine()
+        engine.register_input_stream("s", SIMPLE)
+        return engine
+
+    RECORDS = [{"x": v} for v in (1, 3, 5, 2, 7, 0, 4, 6, 9, 8)]
+
+    def dual_run(self, build_queries, records=None, batch_via="push_batch"):
+        """Run the same input per-tuple and batched; return both outputs."""
+        records = records if records is not None else self.RECORDS
+        outputs = []
+        for mode in ("single", "batch"):
+            engine = self.make_engine()
+            handles = build_queries(engine)
+            if mode == "single":
+                for record in records:
+                    engine.push("s", record)
+            elif batch_via == "push_batch":
+                assert engine.push_batch("s", records) == len(records)
+            else:
+                assert engine.push_many("s", records) == len(records)
+            outputs.append([tuple(engine.read(h)) for h in handles])
+        return outputs
+
+    def test_filter_outputs_identical(self):
+        single, batched = self.dual_run(
+            lambda e: [e.register_query(QueryGraph("s").append(FilterOperator("x > 3")))]
+        )
+        assert single == batched
+
+    def test_window_aggregate_behavior_identical(self):
+        single, batched = self.dual_run(
+            lambda e: [e.register_query(make_windowed_graph())]
+        )
+        assert single == batched
+
+    def test_multi_query_fanout_identical(self):
+        def build(engine):
+            return [
+                engine.register_query(QueryGraph("s").append(FilterOperator(f"x > {i}")))
+                for i in range(4)
+            ] + [engine.register_query(make_windowed_graph())]
+
+        single, batched = self.dual_run(build)
+        assert single == batched
+
+    def test_push_many_uses_batched_path(self):
+        single, batched = self.dual_run(
+            lambda e: [e.register_query(make_windowed_graph())],
+            batch_via="push_many",
+        )
+        assert single == batched
+
+    def test_empty_batch(self):
+        engine = self.make_engine()
+        assert engine.push_batch("s", []) == 0
+
+    def test_batch_accepts_stream_tuples(self):
+        from repro.streams.tuples import make_tuple
+
+        engine = self.make_engine()
+        handle = engine.register_query(QueryGraph("s").append(FilterOperator("x > 0")))
+        engine.push_batch("s", [make_tuple(SIMPLE, {"x": 2}), {"x": 3}])
+        assert [t["x"] for t in engine.read(handle)] == [2, 3]
+
+    def test_withdraw_mid_batch_matches_single_appends(self):
+        """A query withdrawn while a batch is in flight behaves exactly
+        as under single appends: it stops at the withdrawal point, and
+        nothing crashes on its closed output stream."""
+        results = []
+        for mode in ("single", "batch"):
+            engine = self.make_engine()
+            # The withdrawer listener is attached to the source stream
+            # *before* the victim query registers, so it fires first for
+            # each tuple — including the marker that triggers withdrawal.
+            source = engine.catalog.get("s")
+            victim_box = {}
+
+            def withdraw_on_marker(tup, engine=engine, victim_box=victim_box):
+                if tup["x"] == 99:
+                    engine.withdraw(victim_box["handle"])
+
+            source.add_listener(withdraw_on_marker)
+            victim = engine.register_query(
+                QueryGraph("s").append(FilterOperator("x > 0"))
+            )
+            victim_box["handle"] = victim
+            subscription = engine.subscribe(victim)
+            records = [{"x": v} for v in (1, 2, 99, 3, 4)]
+            if mode == "single":
+                for record in records:
+                    engine.push("s", record)
+            else:
+                engine.push_batch("s", records)
+            results.append([t["x"] for t in subscription.drain()])
+            with pytest.raises(UnknownHandleError):
+                engine.read(victim)
+        single, batched = results
+        assert single == batched == [1, 2]
+
+    def test_withdrawn_query_receives_nothing_after_batch(self):
+        engine = self.make_engine()
+        handle = engine.register_query(
+            QueryGraph("s").append(FilterOperator("x > 0"))
+        )
+        subscription = engine.subscribe(handle)
+        engine.push_batch("s", [{"x": 1}])
+        engine.withdraw(handle)
+        engine.push_batch("s", [{"x": 2}, {"x": 3}])  # must not crash
+        assert [t["x"] for t in subscription.drain()] == [1]

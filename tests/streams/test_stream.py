@@ -50,6 +50,52 @@ class TestAppend:
         assert seen == []
 
 
+class TestAppendBatch:
+    def test_returns_count_and_appends_in_order(self):
+        stream = Stream("s", SCHEMA)
+        assert stream.append_batch(tuples(1, 2, 3)) == 3
+        assert [t["x"] for t in stream.snapshot()] == [1, 2, 3]
+        assert stream.total_appended == 3
+
+    def test_empty_batch(self):
+        stream = Stream("s", SCHEMA)
+        assert stream.append_batch([]) == 0
+
+    def test_listener_interleaving_matches_single_appends(self):
+        """Each tuple reaches every listener before the next tuple does,
+        exactly like N single appends."""
+        calls = []
+        stream = Stream("s", SCHEMA)
+        stream.add_listener(lambda t: calls.append(("a", t["x"])))
+        stream.add_listener(lambda t: calls.append(("b", t["x"])))
+        stream.append_batch(tuples(1, 2))
+        assert calls == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_atomic_validation(self):
+        """A batch with one bad tuple changes nothing."""
+        other = Schema("o", [("y", "int")])
+        stream = Stream("s", SCHEMA)
+        seen = []
+        stream.add_listener(lambda t: seen.append(t["x"]))
+        batch = tuples(1, 2) + [make_tuple(other, {"y": 9})]
+        with pytest.raises(StreamError):
+            stream.append_batch(batch)
+        assert stream.total_appended == 0
+        assert seen == []
+
+    def test_closed_stream_rejects_batch(self):
+        stream = Stream("s", SCHEMA)
+        stream.close()
+        with pytest.raises(StreamError):
+            stream.append_batch(tuples(1))
+
+    def test_overflow_trimmed_once_at_end(self):
+        stream = Stream("s", SCHEMA, max_buffer=3)
+        stream.append_batch(tuples(1, 2, 3, 4, 5))
+        assert [t["x"] for t in stream.snapshot()] == [3, 4, 5]
+        assert stream.total_appended == 5
+
+
 class TestBoundedBuffer:
     def test_tail_retained(self):
         stream = Stream("s", SCHEMA, max_buffer=3)

@@ -1,10 +1,17 @@
-"""Tests for the policy store and PDP."""
+"""Tests for the policy store, target index, decision cache and PDP."""
 
 import pytest
 
 from repro.errors import PolicyStoreError
+from repro.xacml.attributes import (
+    SUBJECT_ID,
+    Attribute,
+    AttributeCategory,
+    AttributeValue,
+)
+from repro.xacml.functions import STRING_REGEXP_MATCH
 from repro.xacml.pdp import PolicyDecisionPoint
-from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.policy import Match, Policy, Rule, Target
 from repro.xacml.request import Request
 from repro.xacml.response import Decision, Effect, Obligation
 from repro.xacml.store import PolicyStore
@@ -60,6 +67,16 @@ class TestPolicyStore:
             store.load(make_policy(f"p{i}"))
         assert [p.policy_id for p in store.policies()] == [f"p{i}" for i in range(5)]
 
+    def test_remove_listener(self):
+        store = PolicyStore()
+        events = []
+        listener = lambda event, policy: events.append(event)
+        store.add_listener(listener)
+        store.remove_listener(listener)
+        store.remove_listener(listener)  # unknown listener is ignored
+        store.load(make_policy("p1"))
+        assert events == []
+
 
 class TestPdp:
     def test_permit_with_obligations(self):
@@ -98,3 +115,171 @@ class TestPdp:
         pdp.evaluate(Request.simple("u", "r"))
         pdp.evaluate(Request.simple("u", "r"))
         assert pdp.evaluations == 2
+
+
+class TestPolicyIndex:
+    def test_candidates_pruned_by_target(self):
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-gps", resource="gps"))
+        store.load(make_policy("p-any"))  # wildcard target
+        candidates = store.policies_for(Request.simple("u", "gps"))
+        assert [p.policy_id for p in candidates] == ["p-gps", "p-any"]
+
+    def test_candidates_preserve_load_order(self):
+        store = PolicyStore()
+        store.load(make_policy("p-any"))
+        store.load(make_policy("p-gps", resource="gps"))
+        candidates = store.policies_for(Request.simple("u", "gps"))
+        assert [p.policy_id for p in candidates] == ["p-any", "p-gps"]
+
+    def test_subject_pruning(self):
+        store = PolicyStore()
+        store.load(make_policy("p-alice", subject="alice"))
+        store.load(make_policy("p-bob", subject="bob"))
+        candidates = store.policies_for(Request.simple("alice", "r"))
+        assert [p.policy_id for p in candidates] == ["p-alice"]
+
+    def test_multi_valued_subject_unions_buckets(self):
+        store = PolicyStore()
+        store.load(make_policy("p-alice", subject="alice"))
+        store.load(make_policy("p-bob", subject="bob"))
+        request = Request.simple("alice", "r")
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT, SUBJECT_ID, AttributeValue.string("bob")
+            )
+        )
+        assert {p.policy_id for p in store.policies_for(request)} == {
+            "p-alice",
+            "p-bob",
+        }
+
+    def test_regex_target_falls_back_to_wildcard(self):
+        store = PolicyStore()
+        regex_target = Target(
+            subjects=[[
+                Match(
+                    AttributeCategory.SUBJECT,
+                    SUBJECT_ID,
+                    AttributeValue.string("ali.*"),
+                    function_id=STRING_REGEXP_MATCH,
+                )
+            ]]
+        )
+        store.load(
+            Policy("p-re", target=regex_target, rules=[Rule("r", Effect.PERMIT)])
+        )
+        # Non-indexable target: the policy must be a candidate for any
+        # subject, and the full evaluation decides.
+        assert [p.policy_id for p in store.policies_for(Request.simple("alice", "r"))] == ["p-re"]
+        assert [p.policy_id for p in store.policies_for(Request.simple("zoe", "r"))] == ["p-re"]
+
+    def test_update_and_remove_maintain_index(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", resource="weather"))
+        store.update(make_policy("p1", resource="gps"))
+        assert store.policies_for(Request.simple("u", "weather")) == []
+        assert [p.policy_id for p in store.policies_for(Request.simple("u", "gps"))] == ["p1"]
+        store.remove("p1")
+        assert store.policies_for(Request.simple("u", "gps")) == []
+        assert store.index.stats()["policies"] == 0
+
+    def test_request_without_resource_only_sees_wildcards(self):
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-any"))
+        request = Request()
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT, SUBJECT_ID, AttributeValue.string("u")
+            )
+        )
+        assert [p.policy_id for p in store.policies_for(request)] == ["p-any"]
+
+
+class TestDecisionCache:
+    def test_hit_and_miss_counters(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", subject="LTA"))
+        pdp = PolicyDecisionPoint(store)
+        first = pdp.evaluate(Request.simple("LTA", "weather"))
+        second = pdp.evaluate(Request.simple("LTA", "weather"))
+        assert first.decision is second.decision is Decision.PERMIT
+        assert (pdp.cache_hits, pdp.cache_misses) == (1, 1)
+        assert pdp.cache_hit_rate == 0.5
+        assert pdp.cache_stats()["entries"] == 1
+
+    def test_load_invalidates_cached_not_applicable(self):
+        store = PolicyStore()
+        pdp = PolicyDecisionPoint(store)
+        request = Request.simple("LTA", "weather")
+        assert pdp.evaluate(request).decision is Decision.NOT_APPLICABLE
+        store.load(make_policy("p1", subject="LTA"))
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+
+    def test_update_invalidates_cached_permit(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", subject="LTA"))
+        pdp = PolicyDecisionPoint(store)
+        request = Request.simple("LTA", "weather")
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+        store.update(make_policy("p1", subject="LTA", effect=Effect.DENY))
+        assert pdp.evaluate(request).decision is Decision.DENY
+        assert pdp.cache_invalidations == 1  # the update (load preceded the PDP)
+
+    def test_remove_invalidates_cached_permit(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", subject="LTA"))
+        pdp = PolicyDecisionPoint(store)
+        request = Request.simple("LTA", "weather")
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+        store.remove("p1")
+        assert pdp.evaluate(request).decision is Decision.NOT_APPLICABLE
+
+    def test_lru_eviction(self):
+        store = PolicyStore()
+        store.load(make_policy("p-any"))
+        pdp = PolicyDecisionPoint(store, cache_size=2)
+        a, b, c = (Request.simple(s, "r") for s in ("a", "b", "c"))
+        pdp.evaluate(a)
+        pdp.evaluate(b)
+        pdp.evaluate(a)   # refresh a; b is now least recent
+        pdp.evaluate(c)   # evicts b
+        hits_before = pdp.cache_hits
+        pdp.evaluate(b)   # must be a miss again
+        assert pdp.cache_hits == hits_before
+        assert pdp.cache_stats()["entries"] == 2
+
+    def test_reference_mode_disables_fast_paths(self):
+        store = PolicyStore()
+        store.load(make_policy("p1", subject="LTA"))
+        pdp = PolicyDecisionPoint.reference(store)
+        request = Request.simple("LTA", "weather")
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+        assert (pdp.cache_hits, pdp.cache_misses) == (0, 0)
+        assert not pdp.use_index
+
+    def test_detach_stops_invalidation_and_unpins(self):
+        store = PolicyStore()
+        pdp = PolicyDecisionPoint(store)
+        pdp.detach()
+        store.load(make_policy("p1"))
+        assert pdp.cache_invalidations == 0
+
+    def test_cacheless_pdp_registers_no_listener(self):
+        store = PolicyStore()
+        before = len(store._listeners)
+        PolicyDecisionPoint.reference(store)
+        assert len(store._listeners) == before
+
+    def test_cached_response_keeps_obligations(self):
+        store = PolicyStore()
+        obligation = Obligation("ob1", Effect.PERMIT)
+        store.load(make_policy("p1", subject="LTA", obligations=[obligation]))
+        pdp = PolicyDecisionPoint(store)
+        request = Request.simple("LTA", "weather")
+        assert pdp.evaluate(request).obligations == (obligation,)
+        assert pdp.evaluate(request).obligations == (obligation,)
+        assert pdp.cache_hits == 1
