@@ -100,8 +100,10 @@ def test_engine_fanout_throughput_batched(benchmark):
 def test_batched_ingest_equivalent_and_faster(benchmark):
     """push_batch must match per-tuple outputs, and the amortized
     dispatch must show through where per-push overhead matters (raw
-    ingest; at high query fan-out the filter evaluation itself dominates
-    and the two paths converge)."""
+    ingest).  Since PR 2 the batched path also wins at query fan-out:
+    each query runs one compiled pipeline invocation per batch instead
+    of one interpreted walk per tuple (see bench_operator_eval.py for
+    the compiled-vs-interpreted sweep)."""
     import time
 
     def compare():

@@ -1,0 +1,157 @@
+"""Operator-evaluation benchmark — compiled vs interpreted, fan-out sweep.
+
+The PR-2 tentpole compiles filter conditions to schema-specialised
+closures and threads batch execution end-to-end.  This benchmark pins
+the win: engine throughput at query fan-out 1/5/20 on the compiled +
+batched path against the seed interpreted per-tuple path
+(``StreamEngine.reference()``), plus a raw expression-evaluation
+microbenchmark (closure vs AST walk).
+
+Results are emitted to ``BENCH_operator_eval.json`` so the CI
+bench-smoke job can archive them as an artifact.  The fan-out-5
+speedup assertion is the PR's acceptance criterion (≥ 5x).
+"""
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_header
+from repro.expr.compile import compile_predicate
+from repro.expr.evaluate import evaluate
+from repro.expr.parser import parse_condition
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import FilterOperator
+from repro.streams.schema import WEATHER_SCHEMA
+from repro.streams.sources import WeatherSource
+
+TUPLES = WeatherSource(seed=3).tuples(2_000)
+FANOUTS = (1, 5, 20)
+CONDITION = "rainrate > 5 AND windspeed < 30 OR temperature >= 25"
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_operator_eval.json"
+
+
+def best_of(n, fn):
+    """Best-of-n wall clock with the GC held off the measured window
+    (single-shot timings in the CI smoke job are otherwise at the mercy
+    of wandering gen2 pauses against the session's accumulated heap)."""
+    best = None
+    for _ in range(n):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def make_engine(compiled, fanout):
+    engine = StreamEngine() if compiled else StreamEngine.reference()
+    engine.register_input_stream("weather", WEATHER_SCHEMA)
+    for i in range(fanout):
+        engine.register_query(
+            QueryGraph("weather").append(FilterOperator(f"rainrate > {i}"))
+        )
+    return engine
+
+
+def test_expression_eval_compiled_vs_interpreted(benchmark):
+    """Microbenchmark: one condition over 2000 tuples, closure vs AST."""
+    expression = parse_condition(CONDITION)
+    predicate = compile_predicate(expression, WEATHER_SCHEMA)
+
+    def compare():
+        interpreted = best_of(3, lambda: [evaluate(expression, t) for t in TUPLES])
+        compiled = best_of(3, lambda: [predicate(t) for t in TUPLES])
+        assert [predicate(t) for t in TUPLES] == [
+            evaluate(expression, t) for t in TUPLES
+        ]
+        return {"interpreted_s": interpreted, "compiled_s": compiled}
+
+    timings = benchmark.pedantic(compare, rounds=1, iterations=1)
+    speedup = timings["interpreted_s"] / timings["compiled_s"]
+    print_header("Expression evaluation — 2000 tuples, AST walk vs closure")
+    print(
+        f"  interpreted {timings['interpreted_s'] * 1e6 / len(TUPLES):8.2f} µs/tuple"
+        f"   compiled {timings['compiled_s'] * 1e6 / len(TUPLES):8.2f} µs/tuple"
+        f"   ({speedup:.1f}x)"
+    )
+    _merge_results({"expression_eval": {**timings, "speedup": speedup}})
+
+
+def test_engine_fanout_compiled_vs_interpreted(benchmark):
+    """End-to-end: push_batch through N registered filter queries,
+    compiled+batched engine vs seed interpreted per-tuple engine."""
+
+    def sweep():
+        results = {}
+        for fanout in FANOUTS:
+            timings = {}
+            outputs = {}
+            for mode, compiled in (("interpreted", False), ("compiled", True)):
+                best = None
+                for _ in range(3):
+                    engine = make_engine(compiled, fanout)
+                    handles = [q.handle for q in engine.active_queries()]
+                    gc.collect()
+                    gc.disable()
+                    try:
+                        started = time.perf_counter()
+                        engine.push_batch("weather", TUPLES)
+                        elapsed = time.perf_counter() - started
+                    finally:
+                        gc.enable()
+                    best = elapsed if best is None else min(best, elapsed)
+                timings[mode] = best
+                outputs[mode] = [
+                    [t["rainrate"] for t in engine.read(handle)]
+                    for handle in handles
+                ]
+            assert outputs["interpreted"] == outputs["compiled"]
+            results[fanout] = {
+                "interpreted_s": timings["interpreted"],
+                "compiled_s": timings["compiled"],
+                "speedup": timings["interpreted"] / timings["compiled"],
+                "tuples": len(TUPLES),
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Engine throughput — compiled+batched vs interpreted (2000 tuples)")
+    for fanout, row in results.items():
+        print(
+            f"  fan-out {fanout:>2d}: interpreted "
+            f"{row['tuples'] / row['interpreted_s']:>10.0f} t/s"
+            f"   compiled {row['tuples'] / row['compiled_s']:>10.0f} t/s"
+            f"   ({row['speedup']:.1f}x)"
+        )
+    _merge_results({"engine_fanout": results})
+    # Acceptance criterion: ≥ 5x at fan-out 5 (measured ~8x).  The CI
+    # smoke job sets BENCH_SMOKE_RELAXED=1 to lower the gate to 2x:
+    # shared-runner noise can compress single-shot ratios, and a red
+    # build on an unrelated PR would teach people to ignore the gate —
+    # 2x still catches a disabled or broken fast path outright.
+    floor = 2.0 if os.environ.get("BENCH_SMOKE_RELAXED") else 5.0
+    assert results[5]["speedup"] >= floor
+
+
+def _merge_results(update: dict) -> None:
+    """Accumulate this module's sections into one JSON artifact."""
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.update(update)
+    data["tuples"] = len(TUPLES)
+    data["condition"] = CONDITION
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -12,7 +12,9 @@ connected with NOT, AND, OR.  This package provides:
   ``checkTwoSimpleExpression`` over all 36 operator pairs
   (:mod:`repro.expr.satisfiability`),
 - filter-merge simplification (:mod:`repro.expr.simplify`),
-- evaluation of conditions against stream tuples (:mod:`repro.expr.evaluate`).
+- evaluation of conditions against stream tuples (:mod:`repro.expr.evaluate`),
+- schema-specialised compilation of conditions to plain Python closures
+  for the engine's hot path (:mod:`repro.expr.compile`).
 """
 
 from repro.expr.ast import (
@@ -34,6 +36,11 @@ from repro.expr.satisfiability import (
 )
 from repro.expr.simplify import simplify_conjunction
 from repro.expr.evaluate import evaluate
+from repro.expr.compile import (
+    compile_batch,
+    compile_predicate,
+    compile_row_predicate,
+)
 
 __all__ = [
     "AndExpression",
@@ -53,4 +60,7 @@ __all__ = [
     "dnf_verdict",
     "simplify_conjunction",
     "evaluate",
+    "compile_batch",
+    "compile_predicate",
+    "compile_row_predicate",
 ]

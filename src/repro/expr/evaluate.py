@@ -25,30 +25,43 @@ def evaluate(expression: BooleanExpression, record: Union[Mapping[str, Any], Any
     validates conditions against the schema before execution, so this
     signals a programming error rather than silently filtering out tuples.
     """
+    # One-element holder for the lazily-built lowercased-key view of a
+    # plain dict, so the case-insensitive fallback is built at most once
+    # per evaluate() call instead of re-scanning every item for every
+    # attribute reference in the expression.
+    return _evaluate(expression, record, [])
+
+
+def _evaluate(expression: BooleanExpression, record, lowered: list) -> bool:
     if isinstance(expression, TrueExpression):
         return True
     if isinstance(expression, SimpleExpression):
-        value = _lookup(record, expression.attribute)
+        value = _lookup(record, expression.attribute, lowered)
         return _compare(expression, value)
     if isinstance(expression, AndExpression):
-        return all(evaluate(child, record) for child in expression.children)
+        return all(_evaluate(child, record, lowered) for child in expression.children)
     if isinstance(expression, OrExpression):
-        return any(evaluate(child, record) for child in expression.children)
+        return any(_evaluate(child, record, lowered) for child in expression.children)
     if isinstance(expression, NotExpression):
-        return not evaluate(expression.child, record)
+        return not _evaluate(expression.child, record, lowered)
     raise ExpressionTypeError(f"cannot evaluate expression node {expression!r}")
 
 
-def _lookup(record, attribute: str):
+def _lookup(record, attribute: str, lowered: list):
     getter = getattr(record, "get", None)
     if getter is not None and hasattr(record, "__contains__"):
         if attribute in record:
             return record[attribute]
-        # Fall back to case-insensitive scan for plain dicts.
+        # Case-insensitive fallback for plain dicts: fold the keys once
+        # and reuse the folded view for every later attribute reference.
         if isinstance(record, Mapping):
-            for key, value in record.items():
-                if key.lower() == attribute:
-                    return value
+            if not lowered:
+                folded = {}
+                for key, value in record.items():
+                    folded.setdefault(key.lower(), value)
+                lowered.append(folded)
+            if attribute in lowered[0]:
+                return lowered[0][attribute]
         raise UnknownAttributeError(attribute)
     raise ExpressionTypeError(f"cannot look up attributes on {type(record).__name__}")
 

@@ -14,7 +14,7 @@ query-graph management relies on when a policy is removed or modified.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import EngineError, UnknownHandleError
 from repro.streams.catalog import StreamCatalog
@@ -26,7 +26,13 @@ from repro.streams.tuples import StreamTuple, make_tuple
 
 
 class RegisteredQuery:
-    """A live continuous query: instance + output stream + handle."""
+    """A live continuous query: instance + output stream + handle.
+
+    The query subscribes to its source as a *batch listener*: every
+    appended batch triggers exactly one pipeline invocation
+    (:meth:`QueryGraphInstance.process_many`), and single appends arrive
+    as length-1 batches routed through the per-tuple fast path.
+    """
 
     def __init__(
         self,
@@ -39,18 +45,23 @@ class RegisteredQuery:
         self.instance = instance
         self.output = output
         self._source = source
-        self._listener = self._on_tuple
+        self._listener = self._on_batch
         self.active = True
-        source.add_listener(self._listener)
+        source.add_batch_listener(self._listener)
 
-    def _on_tuple(self, tup: StreamTuple) -> None:
-        # The guard makes mid-batch (and mid-dispatch) withdrawal safe:
-        # a withdrawn query may still sit in an in-flight listener
-        # snapshot, and must neither process the tuple nor append to its
-        # closed output stream.
+    def _on_batch(self, tuples: Sequence[StreamTuple]) -> None:
+        # The guard makes mid-dispatch withdrawal safe: a withdrawn
+        # query may still sit in an in-flight listener snapshot, and
+        # must neither process tuples nor append to its closed output.
+        # (Withdraw-mid-batch truncation is handled by the stream, which
+        # flushes the already-dispatched prefix to this callback while
+        # the query is still active — see Stream.remove_batch_listener.)
         if not self.active:
             return
-        outputs = self.instance.process(tup)
+        if len(tuples) == 1:
+            outputs = self.instance.process(tuples[0])
+        else:
+            outputs = self.instance.process_many(tuples)
         if not outputs:
             return
         if len(outputs) == 1:
@@ -59,9 +70,15 @@ class RegisteredQuery:
             self.output.append_batch(outputs)
 
     def withdraw(self) -> None:
-        """Detach from the input stream and close the output."""
+        """Detach from the input stream and close the output.
+
+        Removing the batch listener first lets the stream flush the
+        in-flight prefix of a mid-batch withdrawal (while the query is
+        still active and its output still open), so batched revocation
+        is output-identical to the per-tuple path.
+        """
         if self.active:
-            self._source.remove_listener(self._listener)
+            self._source.remove_batch_listener(self._listener)
             self.output.close()
             self.active = False
 
@@ -75,14 +92,28 @@ class RegisteredQuery:
 
 
 class StreamEngine:
-    """A single-host Aurora-model DSMS."""
+    """A single-host Aurora-model DSMS.
 
-    def __init__(self, host: str = "dsms.local"):
+    By default queries run on the compiled + batched execution path
+    (filter conditions compiled to closures per schema, pipelines
+    evaluated batch-at-a-time).  ``compiled=False`` — or the
+    :meth:`reference` constructor — pins every query to the seed
+    per-tuple interpreted path, the reference mode for differential
+    testing, mirroring ``PolicyDecisionPoint.reference()``.
+    """
+
+    def __init__(self, host: str = "dsms.local", compiled: bool = True):
         self.host = host
+        self.compiled = compiled
         self.catalog = StreamCatalog()
         self._queries: Dict[str, RegisteredQuery] = {}
         #: Count of queries ever registered (for monitoring/benchmarks).
         self.total_registered = 0
+
+    @classmethod
+    def reference(cls, host: str = "dsms.local") -> "StreamEngine":
+        """An engine on the seed interpreted per-tuple execution path."""
+        return cls(host, compiled=False)
 
     # -- input streams ---------------------------------------------------------
 
@@ -149,7 +180,7 @@ class StreamEngine:
         anything is installed, so an invalid graph changes no engine state.
         """
         source = self.catalog.get(graph.source)
-        instance = graph.instantiate(source.schema)
+        instance = graph.instantiate(source.schema, compiled=self.compiled)
         if handle is None:
             handle = StreamHandle.allocate(self.host)
         if handle.uri in self._queries:

@@ -111,9 +111,15 @@ class QueryGraph:
             schemas.append(operator.output_schema(schemas[-1]))
         return schemas
 
-    def instantiate(self, input_schema: Schema) -> "QueryGraphInstance":
-        """Build a runnable instance with fresh operator state."""
-        return QueryGraphInstance(self, input_schema)
+    def instantiate(
+        self, input_schema: Schema, compiled: bool = True
+    ) -> "QueryGraphInstance":
+        """Build a runnable instance with fresh operator state.
+
+        ``compiled=False`` builds a reference instance on the seed
+        per-tuple interpreted path (see :class:`QueryGraphInstance`).
+        """
+        return QueryGraphInstance(self, input_schema, compiled=compiled)
 
     def fresh_copy(self, name: Optional[str] = None) -> "QueryGraph":
         return QueryGraph(
@@ -133,12 +139,37 @@ class QueryGraph:
 
 
 class QueryGraphInstance:
-    """A running copy of a query graph with per-operator state."""
+    """A running copy of a query graph with per-operator state.
 
-    def __init__(self, graph: QueryGraph, input_schema: Schema):
+    Two execution modes, both output-identical (the batch-vs-single
+    differential tests prove it):
+
+    - **compiled** (default): :meth:`process_many` runs the pipeline
+      stage by stage on whole batches via ``Operator.process_batch``,
+      and filters evaluate schema-compiled closures;
+    - **reference** (``compiled=False``): every tuple walks the chain
+      one box at a time, filter conditions are interpreted over the
+      expression AST (the seed evaluator) and projections use the seed
+      name-based ``StreamTuple.project``.  Window aggregation shares
+      one implementation in both modes; its semantics are pinned by
+      first-principles oracles rather than by this mode.  Kept for
+      differential testing, mirroring ``PolicyDecisionPoint.reference()``.
+    """
+
+    def __init__(self, graph: QueryGraph, input_schema: Schema, compiled: bool = True):
         self.graph = graph
+        self.compiled = compiled
         self._operators = [op.fresh_copy() for op in graph.operators]
+        if not compiled:
+            for operator in self._operators:
+                # Filter and map carry seed fallbacks behind this flag;
+                # window aggregation shares one implementation in both
+                # modes (verified against first-principles oracles in
+                # tests/properties/test_prop_streams.py).
+                if hasattr(operator, "use_compiled"):
+                    operator.use_compiled = False
         self._schemas = graph.schema_trace(input_schema)
+        self._stages = list(zip(self._operators, self._schemas[1:]))
 
     @property
     def input_schema(self) -> Schema:
@@ -151,7 +182,7 @@ class QueryGraphInstance:
     def process(self, tup: StreamTuple) -> List[StreamTuple]:
         """Push one tuple through the whole chain; return emitted tuples."""
         batch = [tup]
-        for operator, out_schema in zip(self._operators, self._schemas[1:]):
+        for operator, out_schema in self._stages:
             next_batch: List[StreamTuple] = []
             for item in batch:
                 next_batch.extend(operator.process(item, out_schema))
@@ -161,7 +192,22 @@ class QueryGraphInstance:
         return batch
 
     def process_many(self, tuples: Sequence[StreamTuple]) -> List[StreamTuple]:
-        outputs: List[StreamTuple] = []
-        for tup in tuples:
-            outputs.extend(self.process(tup))
-        return outputs
+        """Push a batch through the whole chain, stage by stage.
+
+        Output-equivalent to calling :meth:`process` per tuple and
+        concatenating: operators see the same tuples in the same order,
+        they just see them one batch at a time.  Never mutates *tuples*.
+        """
+        if not self.compiled:
+            outputs: List[StreamTuple] = []
+            for tup in tuples:
+                outputs.extend(self.process(tup))
+            return outputs
+        batch: List[StreamTuple] = (
+            tuples if isinstance(tuples, list) else list(tuples)
+        )
+        for operator, out_schema in self._stages:
+            if not batch:
+                break
+            batch = operator.process_batch(batch, out_schema)
+        return batch

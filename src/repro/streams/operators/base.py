@@ -9,7 +9,7 @@ second running query.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
@@ -34,6 +34,22 @@ class Operator:
     def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
         """Consume one input tuple; return the tuples to emit (often 0/1)."""
         raise NotImplementedError
+
+    def process_batch(
+        self, tuples: Sequence[StreamTuple], output_schema: Schema
+    ) -> List[StreamTuple]:
+        """Consume a batch of input tuples; return the tuples to emit.
+
+        Must be output-equivalent to calling :meth:`process` once per
+        tuple, in order, and concatenating the results — the contract
+        the batch-vs-single differential tests enforce.  The default
+        does exactly that, so third-party operators keep working; the
+        built-in boxes override it with real batch implementations.
+        """
+        outputs: List[StreamTuple] = []
+        for tup in tuples:
+            outputs.extend(self.process(tup, output_schema))
+        return outputs
 
     def fresh_copy(self) -> "Operator":
         """Return a stateless clone suitable for a new query instance."""

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Sequence, Union
 
 from repro.errors import ExpressionTypeError, SchemaError
 from repro.expr.ast import BooleanExpression, SimpleExpression
+from repro.expr.compile import compile_batch, compile_predicate
 from repro.expr.evaluate import evaluate
 from repro.expr.parser import parse_condition
 from repro.streams.operators.base import Operator
@@ -18,14 +19,29 @@ class FilterOperator(Operator):
 
     The condition may be given as a string (parsed with the condition
     grammar) or an already-built :class:`BooleanExpression`.
+
+    By default the condition is compiled once per schema into a plain
+    Python closure (:mod:`repro.expr.compile`) — attribute references
+    become positional indexing, comparisons are specialised, AND/OR
+    short-circuit natively.  ``use_compiled=False`` keeps the seed
+    AST-walking interpreter as a reference mode for differential
+    testing, mirroring :meth:`repro.xacml.pdp.PolicyDecisionPoint.reference`.
     """
 
     kind = "filter"
 
-    def __init__(self, condition: Union[str, BooleanExpression]):
+    def __init__(
+        self,
+        condition: Union[str, BooleanExpression],
+        use_compiled: bool = True,
+    ):
         if isinstance(condition, str):
             condition = parse_condition(condition)
         self.condition = condition
+        self.use_compiled = use_compiled
+        self._compiled_schema: Schema = None
+        self._predicate = None
+        self._mask = None
 
     def output_schema(self, input_schema: Schema) -> Schema:
         self._validate_condition(input_schema)
@@ -53,7 +69,24 @@ class FilterOperator(Operator):
                         f"are not supported; compare against 0/1 integers instead"
                     )
 
+    def _compile_for(self, schema: Schema) -> None:
+        """(Re)compile the condition for *schema*, caching the closures.
+
+        The identity check keeps the steady state — every tuple of a
+        stream shares one Schema object — at a single ``is`` test; the
+        equality fallback handles equal-but-distinct schema objects.
+        """
+        if schema is not self._compiled_schema and schema != self._compiled_schema:
+            self._predicate = compile_predicate(self.condition, schema)
+            self._mask = compile_batch(self.condition, schema)
+            self._compiled_schema = schema
+
     def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
+        if self.use_compiled:
+            # A filter's output schema IS its input schema, and the
+            # instance passes the same Schema object on every call.
+            self._compile_for(output_schema)
+            return [tup] if self._predicate(tup) else []
         try:
             passed = evaluate(self.condition, tup)
         except ExpressionTypeError:
@@ -62,8 +95,20 @@ class FilterOperator(Operator):
             raise
         return [tup] if passed else []
 
+    def process_batch(
+        self, tuples: Sequence[StreamTuple], output_schema: Schema
+    ) -> List[StreamTuple]:
+        if not tuples:
+            return []
+        if not self.use_compiled:
+            condition = self.condition
+            return [tup for tup in tuples if evaluate(condition, tup)]
+        self._compile_for(output_schema)
+        mask = self._mask(tuples)
+        return [tup for tup, keep in zip(tuples, mask) if keep]
+
     def fresh_copy(self) -> "FilterOperator":
-        return FilterOperator(self.condition)
+        return FilterOperator(self.condition, use_compiled=self.use_compiled)
 
     def describe(self) -> str:
         return f"WHERE {self.condition.to_condition_string()}"

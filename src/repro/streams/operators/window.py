@@ -207,45 +207,75 @@ class AggregateOperator(Operator):
 
     def process(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
         if self.window.window_type is WindowType.TUPLE:
-            return self._process_tuple_window(tup, output_schema)
-        return self._process_time_window(tup, output_schema)
+            return self._process_tuple_window_batch((tup,), output_schema)
+        return self._process_time_window_batch((tup,), output_schema)
 
-    def _process_tuple_window(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
-        self._buffer.append(tup)
-        self._count += 1
-        # Retain only the tail a future window can still need.
-        max_tail = self.window.size
-        if len(self._buffer) > max_tail:
-            del self._buffer[: len(self._buffer) - max_tail]
+    def process_batch(
+        self, tuples: Sequence[StreamTuple], output_schema: Schema
+    ) -> List[StreamTuple]:
+        """Real batch path: one buffer extension and one emission sweep
+        per batch instead of per tuple, with the time-attribute position
+        resolved once per batch."""
+        if not tuples:
+            return []
+        if self.window.window_type is WindowType.TUPLE:
+            return self._process_tuple_window_batch(tuples, output_schema)
+        return self._process_time_window_batch(tuples, output_schema)
+
+    def _process_tuple_window_batch(
+        self, tuples: Sequence[StreamTuple], output_schema: Schema
+    ) -> List[StreamTuple]:
+        buffer = self._buffer
+        buffer.extend(tuples)
+        self._count += len(tuples)
+        count = self._count
+        size, step = self.window.size, self.window.step
+        #: Logical stream position of buffer[0].  Every still-unemitted
+        #: window starts at or after it: emission keeps _next_emit no
+        #: more than one step behind, and the tail retained below always
+        #: covers the next window.
+        base = count - len(buffer)
         outputs: List[StreamTuple] = []
-        while self._count >= self._next_emit:
-            window_tuples = self._buffer[-self.window.size :]
-            outputs.append(self._emit(window_tuples, output_schema))
-            self._next_emit += self.window.step
+        while self._next_emit <= count:
+            start = self._next_emit - size - base
+            outputs.append(self._emit(buffer[start : start + size], output_schema))
+            self._next_emit += step
+        # Retain only the tail a future window can still need.
+        if len(buffer) > size:
+            del buffer[: len(buffer) - size]
         return outputs
 
-    def _process_time_window(self, tup: StreamTuple, output_schema: Schema) -> List[StreamTuple]:
-        time_field = self._time_field(tup.schema)
-        timestamp = tup[time_field.name]
-        if self._t0 is None:
-            self._t0 = timestamp
+    def _process_time_window_batch(
+        self, tuples: Sequence[StreamTuple], output_schema: Schema
+    ) -> List[StreamTuple]:
+        # All tuples of one dispatch share a schema, so the time
+        # attribute resolves to one value-vector position for the batch.
+        time_position = tuples[0].schema.position(self._time_field(tuples[0].schema).name)
+        size, step = self.window.size, self.window.step
         outputs: List[StreamTuple] = []
-        # Close every window that ends at or before this timestamp.
-        while True:
-            start = self._t0 + self._next_window_index * self.window.step
-            end = start + self.window.size
-            if timestamp < end:
-                break
-            window_tuples = [
-                t for t in self._buffer if start <= t[time_field.name] < end
+        for tup in tuples:
+            timestamp = tup.values[time_position]
+            if self._t0 is None:
+                self._t0 = timestamp
+            # Close every window that ends at or before this timestamp.
+            while True:
+                start = self._t0 + self._next_window_index * step
+                end = start + size
+                if timestamp < end:
+                    break
+                window_tuples = [
+                    t for t in self._buffer
+                    if start <= t.values[time_position] < end
+                ]
+                if window_tuples:
+                    outputs.append(self._emit(window_tuples, output_schema))
+                self._next_window_index += 1
+            self._buffer.append(tup)
+            # Prune tuples no future window can cover.
+            earliest_needed = self._t0 + self._next_window_index * step
+            self._buffer = [
+                t for t in self._buffer if t.values[time_position] >= earliest_needed
             ]
-            if window_tuples:
-                outputs.append(self._emit(window_tuples, output_schema))
-            self._next_window_index += 1
-        self._buffer.append(tup)
-        # Prune tuples no future window can cover.
-        earliest_needed = self._t0 + self._next_window_index * self.window.step
-        self._buffer = [t for t in self._buffer if t[time_field.name] >= earliest_needed]
         return outputs
 
     def _emit(self, window_tuples: Sequence[StreamTuple], output_schema: Schema) -> StreamTuple:

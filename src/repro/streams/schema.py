@@ -140,15 +140,18 @@ class Schema:
         self.name = name
         self._fields: List[Field] = []
         self._by_name: Dict[str, Field] = {}
+        self._positions: Dict[str, int] = {}
         for item in fields:
             field = item if isinstance(item, Field) else Field(item[0], item[1])
             key = field.name.lower()
             if key in self._by_name:
                 raise SchemaError(f"duplicate field {field.name!r} in schema {name!r}")
+            self._positions[key] = len(self._fields)
             self._fields.append(field)
             self._by_name[key] = field
         if not self._fields:
             raise SchemaError(f"schema {name!r} must have at least one field")
+        self._names: Tuple[str, ...] = tuple(field.name for field in self._fields)
 
     @property
     def fields(self) -> Tuple[Field, ...]:
@@ -157,7 +160,7 @@ class Schema:
     @property
     def attribute_names(self) -> Tuple[str, ...]:
         """Declared attribute names, in schema order."""
-        return tuple(field.name for field in self._fields)
+        return self._names
 
     def __len__(self) -> int:
         return len(self._fields)
@@ -172,6 +175,13 @@ class Schema:
         """Return the :class:`Field` named *attribute* (case-insensitive)."""
         try:
             return self._by_name[attribute.lower()]
+        except KeyError:
+            raise UnknownAttributeError(attribute, self.name) from None
+
+    def position(self, attribute: str) -> int:
+        """Return the 0-based position of *attribute* (case-insensitive)."""
+        try:
+            return self._positions[attribute.lower()]
         except KeyError:
             raise UnknownAttributeError(attribute, self.name) from None
 

@@ -6,6 +6,13 @@ tracks its own read position so multiple independent readers (different
 registered queries, the reconstruction-attack demo, tests) can drain the
 same stream without interfering.
 
+Push consumers come in two flavours: per-tuple listeners (one callback
+per appended tuple — control hooks, tests, third-party taps) and *batch
+listeners* (one callback per appended batch — the registered-query fast
+path, which runs a whole pipeline invocation per batch instead of per
+tuple).  Dispatch order within an append is: per-tuple listeners first,
+tuple by tuple, then batch listeners, batch by batch.
+
 Streams keep a bounded in-memory tail (``max_buffer``) because real data
 streams are unbounded; a subscription that falls behind the retained tail
 raises rather than silently skipping data.
@@ -13,11 +20,40 @@ raises rather than silently skipping data.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.errors import StreamError
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
+
+BatchListener = Callable[[Sequence[StreamTuple]], None]
+
+
+class _InflightDispatch:
+    """State of one append_batch dispatch, for mid-batch listener removal.
+
+    ``progress`` tracks how many tuples of the batch have been delivered
+    to per-tuple listeners so far.  When a batch listener is removed
+    during the per-tuple phase (the withdraw-mid-batch revocation path:
+    a control listener withdraws a query), it is synchronously handed
+    ``batch[:progress]`` — exactly the tuples it would have processed
+    had dispatch been per-tuple — and is skipped by the end-of-batch
+    sweep (``done``).  Once the batch phase starts (``batch_phase``), a
+    removed listener gets nothing further: under per-tuple dispatch its
+    guard would have dropped every tuple after the withdrawal, and the
+    withdrawing callback observes tuples no earlier than the victim's
+    own dispatch, so dropping the whole batch keeps ``append(t)`` and
+    ``append_batch([t])`` output-identical.
+    """
+
+    __slots__ = ("batch", "snapshot", "done", "progress", "batch_phase")
+
+    def __init__(self, batch: List[StreamTuple], snapshot: set):
+        self.batch = batch
+        self.snapshot = snapshot
+        self.done: set = set()
+        self.progress = 0
+        self.batch_phase = False
 
 
 class Stream:
@@ -33,6 +69,8 @@ class Stream:
         #: Index (in the unbounded logical stream) of ``_buffer[0]``.
         self._base = 0
         self._listeners: List[Callable[[StreamTuple], None]] = []
+        self._batch_listeners: List[BatchListener] = []
+        self._inflight: Optional[_InflightDispatch] = None
         self._closed = False
 
     @property
@@ -60,25 +98,37 @@ class Stream:
             self._base += overflow
         for listener in list(self._listeners):
             listener(tup)
+        if self._batch_listeners:
+            # Snapshot after the per-tuple phase: a batch listener
+            # removed by a per-tuple callback for this very tuple never
+            # sees it — identical to the per-tuple guard semantics.
+            single = [tup]
+            for listener in list(self._batch_listeners):
+                listener(single)
 
     def append_batch(self, tuples: Iterable[StreamTuple]) -> int:
         """Append many tuples with amortized dispatch; returns the count.
 
-        Listener-visible semantics match N single :meth:`append` calls
-        exactly — tuples are delivered one at a time, in order, to every
-        listener — but the per-append overhead (closed check, schema
-        validation, listener-list snapshot, overflow trim) is paid once
-        per batch.  Two deliberate differences from the per-append path:
+        Per-tuple listeners observe semantics identical to N single
+        :meth:`append` calls — tuples delivered one at a time, in order.
+        Batch listeners receive the whole batch in **one** call, after
+        the per-tuple phase, which is what lets a registered query run
+        one pipeline invocation per batch.  The per-append overhead
+        (closed check, schema validation, listener snapshot, overflow
+        trim) is paid once per batch.  Deliberate differences from N
+        single appends:
 
         - validation is atomic: every tuple's schema is checked before
           any is appended, so a bad batch changes nothing;
         - the buffer is trimmed to ``max_buffer`` once at the end, so it
           may transiently exceed the bound while the batch is in flight.
 
-        The listener snapshot spans the whole batch: a listener removed
-        mid-batch (e.g. a query withdrawn by another listener's callback)
-        keeps receiving the remaining tuples and must guard itself, which
-        :class:`~repro.streams.engine.RegisteredQuery` does.
+        A batch listener removed *mid-batch* (a query withdrawn by a
+        per-tuple control listener — the revocation path) is
+        synchronously delivered the prefix of the batch already
+        dispatched to per-tuple listeners, so its output matches the
+        per-tuple path exactly; see :meth:`remove_batch_listener`.
+        Listeners must treat the batch list as read-only.
         """
         batch = tuples if isinstance(tuples, list) else list(tuples)
         if not batch:
@@ -92,15 +142,29 @@ class Stream:
                     f"tuple schema {tup.schema.name!r} does not match stream "
                     f"{self.name!r} schema {self.schema.name!r}"
                 )
-        listeners = list(self._listeners)
-        if listeners:
-            buffer_append = self._buffer.append
-            for tup in batch:
-                buffer_append(tup)
-                for listener in listeners:
-                    listener(tup)
-        else:
-            self._buffer.extend(batch)
+        tuple_listeners = list(self._listeners)
+        batch_listeners = list(self._batch_listeners)
+        inflight = _InflightDispatch(batch, set(batch_listeners))
+        previous = self._inflight
+        self._inflight = inflight
+        try:
+            if tuple_listeners:
+                buffer_append = self._buffer.append
+                for index, tup in enumerate(batch):
+                    inflight.progress = index
+                    buffer_append(tup)
+                    for listener in tuple_listeners:
+                        listener(tup)
+            else:
+                self._buffer.extend(batch)
+            inflight.batch_phase = True
+            for listener in batch_listeners:
+                if listener in inflight.done:
+                    continue  # already flushed by a mid-batch removal
+                inflight.done.add(listener)
+                listener(batch)
+        finally:
+            self._inflight = previous
         if len(self._buffer) > self.max_buffer:
             overflow = len(self._buffer) - self.max_buffer
             del self._buffer[:overflow]
@@ -132,6 +196,47 @@ class Stream:
             self._listeners.remove(callback)
         except ValueError:
             pass
+
+    def add_batch_listener(self, callback: BatchListener) -> None:
+        """Register a push callback invoked once per appended *batch*.
+
+        Single :meth:`append` calls arrive as length-1 batches.  The
+        callback must not mutate the list it is handed — the same list
+        object is shared across listeners (and may be the appender's).
+        """
+        self._batch_listeners.append(callback)
+
+    def remove_batch_listener(self, callback: BatchListener) -> None:
+        """Unregister a batch listener; unknown listeners are ignored.
+
+        When called while an :meth:`append_batch` dispatch is in its
+        per-tuple phase — a query being withdrawn by a per-tuple control
+        listener's callback — the listener is first delivered,
+        synchronously, the prefix of the in-flight batch already
+        dispatched to per-tuple listeners.  That makes
+        withdraw-mid-batch output-identical to per-tuple dispatch,
+        where the withdrawn query would have processed exactly those
+        tuples before its guard engaged.  A listener removed during the
+        batch phase (withdrawn from another batch listener's dispatch)
+        receives nothing further — the per-tuple equivalent of its
+        guard engaging before its turn — and is skipped by the
+        end-of-batch sweep.
+        """
+        try:
+            self._batch_listeners.remove(callback)
+        except ValueError:
+            pass
+        inflight = self._inflight
+        if (
+            inflight is not None
+            and callback in inflight.snapshot
+            and callback not in inflight.done
+        ):
+            inflight.done.add(callback)
+            if not inflight.batch_phase:
+                prefix = inflight.batch[: inflight.progress]
+                if prefix:
+                    callback(prefix)
 
     def subscribe(self, from_start: bool = True) -> "StreamSubscription":
         """Create a pull cursor over this stream.

@@ -40,9 +40,7 @@ class StreamTuple:
         return self._values
 
     def __getitem__(self, attribute: str) -> Any:
-        field = self._schema.field(attribute)
-        index = self._schema.attribute_names.index(field.name)
-        return self._values[index]
+        return self._values[self._schema.position(attribute)]
 
     def get(self, attribute: str, default: Any = None) -> Any:
         """Return the value of *attribute*, or *default* when absent."""

@@ -14,10 +14,25 @@ behaviour stays available as a reference mode for differential testing
   scan to the plausibly applicable policies (see
   :meth:`~repro.xacml.store.PolicyStore.policies_for`);
 - **decision caching** — an LRU cache from the request fingerprint to
-  the full response (decision, obligations, deciding policy).  The cache
-  is cleared on *every* store event, including loads: a newly loaded
-  policy can turn a cached NotApplicable into a Permit just as a removal
-  can revoke a cached Permit.
+  the full response (decision, obligations, deciding policy), with
+  *per-policy* invalidation: every entry is bucketed by the candidate
+  policy ids that produced it, so removing or updating policy P evicts
+  only P's bucket (plus, for updates, the entries the new version could
+  newly reach) while unrelated hot entries stay warm.  ``load`` events
+  still flush wholesale — a brand-new policy can turn any cached
+  NotApplicable into a Permit, and it has no bucket yet.
+
+Why targeted eviction is sound (given the index's over-approximation
+guarantee — a policy absent from a request's candidate set can never
+be applicable to it):
+
+- ``removed``: entries that never considered P cannot change when P
+  disappears — evicting P's bucket alone is exact;
+- ``updated``: P's bucket covers every entry the *old* version could
+  have influenced; the *new* version may newly match requests that
+  never saw P, so entries whose stored request the new target could
+  plausibly match (probed through a single-policy
+  :class:`~repro.xacml.index.PolicyIndex`) are evicted too.
 
 Both paths are decision- and obligation-identical to the linear scan for
 the built-in combining algorithms, which ignore NotApplicable policies.
@@ -28,7 +43,7 @@ is sensitive to non-applicable entries must use a reference PDP.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, FrozenSet, Optional, Set
 
 from repro.xacml.combining import PolicyCombiningAlgorithm
 from repro.xacml.request import Request
@@ -37,6 +52,18 @@ from repro.xacml.store import PolicyStore
 
 #: Default number of cached decisions.
 DEFAULT_CACHE_SIZE = 4096
+
+
+class _CacheEntry:
+    """One cached decision: the response, the request that produced it,
+    and the candidate-policy ids considered (the entry's buckets)."""
+
+    __slots__ = ("response", "request", "candidate_ids")
+
+    def __init__(self, response: Response, request: Request, candidate_ids: FrozenSet[str]):
+        self.response = response
+        self.request = request
+        self.candidate_ids = candidate_ids
 
 
 class PolicyDecisionPoint:
@@ -57,9 +84,15 @@ class PolicyDecisionPoint:
         self.evaluations = 0
         self.cache_hits = 0
         self.cache_misses = 0
-        #: Number of store events that flushed the decision cache.
+        #: Number of store events that invalidated cache state (any kind).
         self.cache_invalidations = 0
-        self._cache: "OrderedDict[tuple, Response]" = OrderedDict()
+        #: Store events that flushed the whole cache (loads).
+        self.cache_full_flushes = 0
+        #: Entries evicted by targeted (per-policy) invalidation.
+        self.cache_targeted_evictions = 0
+        self._cache: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        #: policy id → cache keys of the entries that considered it.
+        self._buckets: Dict[str, Set[tuple]] = {}
         # Only a caching PDP needs store events (the index lives in the
         # store itself), so cache-less PDPs — reference mode included —
         # don't pin themselves to the store's listener list.
@@ -84,41 +117,105 @@ class PolicyDecisionPoint:
         """
         self.store.remove_listener(self._on_store_event)
         self._cache.clear()
+        self._buckets.clear()
+
+    # -- invalidation -----------------------------------------------------------
 
     def _on_store_event(self, event: str, policy) -> None:
-        # Any change to the policy population can change any decision
-        # (loads included — a cached NotApplicable may become Permit), so
-        # revocation correctness requires a full flush.
+        self.cache_invalidations += 1
+        if event == "removed":
+            self._evict_bucket(policy.policy_id)
+        elif event == "updated":
+            self._evict_bucket(policy.policy_id)
+            self._evict_newly_matching(policy)
+        else:
+            # "loaded" (and any unknown event, conservatively): a new
+            # policy can change any decision — NotApplicable may become
+            # Permit — and it has no bucket yet, so flush wholesale.
+            self._flush()
+
+    def _flush(self) -> None:
         if self._cache:
             self._cache.clear()
-        self.cache_invalidations += 1
+            self._buckets.clear()
+        self.cache_full_flushes += 1
+
+    def _drop(self, key: tuple) -> None:
+        """Remove one entry and unlink it from every bucket it is in."""
+        entry = self._cache.pop(key, None)
+        if entry is None:
+            return
+        for policy_id in entry.candidate_ids:
+            bucket = self._buckets.get(policy_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._buckets[policy_id]
+
+    def _evict_bucket(self, policy_id: str) -> None:
+        """Evict every entry whose decision considered *policy_id*."""
+        for key in self._buckets.pop(policy_id, ()):
+            self.cache_targeted_evictions += 1
+            self._drop(key)
+
+    def _evict_newly_matching(self, policy) -> None:
+        """Evict entries the updated *policy*'s new target could reach.
+
+        Probes each surviving entry's stored request through a
+        single-policy index: a non-empty candidate set means the new
+        version plausibly matches that request, so the entry may be
+        stale even though the old version never considered it.
+        Requests only ever gain attributes, so the probe stays an
+        over-approximation even for a caller-mutated request object.
+        """
+        from repro.xacml.index import PolicyIndex
+
+        probe = PolicyIndex()
+        probe.add(policy)
+        stale = [
+            key
+            for key, entry in self._cache.items()
+            if probe.candidate_ids(entry.request)
+        ]
+        for key in stale:
+            self.cache_targeted_evictions += 1
+            self._drop(key)
+
+    # -- evaluation -------------------------------------------------------------
 
     def evaluate(self, request: Request) -> Response:
         """Evaluate *request*; return decision + deciding policy's obligations."""
         self.evaluations += 1
-        caching = self.cache_size > 0
-        if caching:
-            key = request.fingerprint()
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self.cache_hits += 1
-                return cached
-            self.cache_misses += 1
-        response = self._evaluate_uncached(request)
-        if caching:
-            self._cache[key] = response
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        if self.cache_size <= 0:
+            # Cache-less PDPs (reference mode included) skip fingerprint
+            # and candidate-id bookkeeping entirely — seed-identical work.
+            return self._decide(self._candidates(request), request)
+        key = request.fingerprint()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached.response
+        self.cache_misses += 1
+        candidates = self._candidates(request)
+        response = self._decide(candidates, request)
+        candidate_ids = frozenset(p.policy_id for p in candidates)
+        self._cache[key] = _CacheEntry(response, request, candidate_ids)
+        for policy_id in candidate_ids:
+            self._buckets.setdefault(policy_id, set()).add(key)
+        while len(self._cache) > self.cache_size:
+            self._drop(next(iter(self._cache)))
         return response
 
-    def _evaluate_uncached(self, request: Request) -> Response:
-        algorithm = PolicyCombiningAlgorithm.get(self.combining)
-        candidates = (
+    def _candidates(self, request: Request):
+        return (
             self.store.policies_for(request)
             if self.use_index
             else self.store.policies()
         )
+
+    def _decide(self, candidates, request: Request) -> Response:
+        algorithm = PolicyCombiningAlgorithm.get(self.combining)
         decision, policy = algorithm.combine(candidates, request)
         if policy is None:
             return Response(
@@ -143,5 +240,7 @@ class PolicyDecisionPoint:
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "invalidations": self.cache_invalidations,
+            "full_flushes": self.cache_full_flushes,
+            "targeted_evictions": self.cache_targeted_evictions,
             "hit_rate": self.cache_hit_rate,
         }

@@ -274,6 +274,77 @@ class TestDecisionCache:
         PolicyDecisionPoint.reference(store)
         assert len(store._listeners) == before
 
+    def test_unrelated_remove_keeps_entries_warm(self):
+        """Per-policy invalidation: removing policy P evicts only the
+        entries whose candidate set contained P."""
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-gps", resource="gps"))
+        pdp = PolicyDecisionPoint(store)
+        weather = Request.simple("u", "weather")
+        gps = Request.simple("u", "gps")
+        assert pdp.evaluate(weather).policy_id == "p-weather"
+        assert pdp.evaluate(gps).policy_id == "p-gps"
+        store.remove("p-gps")
+        # The weather entry never considered p-gps: served from cache.
+        hits_before = pdp.cache_hits
+        assert pdp.evaluate(weather).policy_id == "p-weather"
+        assert pdp.cache_hits == hits_before + 1
+        # The gps entry was in p-gps's bucket: evicted, re-evaluated.
+        assert pdp.evaluate(gps).decision is Decision.NOT_APPLICABLE
+        assert pdp.cache_stats()["targeted_evictions"] == 1
+        assert pdp.cache_stats()["full_flushes"] == 0
+
+    def test_unrelated_update_keeps_entries_warm(self):
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-gps", resource="gps"))
+        pdp = PolicyDecisionPoint(store)
+        weather = Request.simple("u", "weather")
+        assert pdp.evaluate(weather).decision is Decision.PERMIT
+        store.update(make_policy("p-gps", resource="gps", effect=Effect.DENY))
+        hits_before = pdp.cache_hits
+        assert pdp.evaluate(weather).decision is Decision.PERMIT
+        assert pdp.cache_hits == hits_before + 1
+
+    def test_update_retargeting_policy_evicts_newly_matching(self):
+        """An update can make a policy newly applicable to a request
+        whose cached decision never considered it — the probe must
+        evict that entry."""
+        store = PolicyStore()
+        store.load(make_policy("p-weather", resource="weather"))
+        store.load(make_policy("p-gps", resource="gps", effect=Effect.DENY))
+        pdp = PolicyDecisionPoint(store)
+        weather = Request.simple("u", "weather")
+        assert pdp.evaluate(weather).decision is Decision.PERMIT
+        # Retarget p-gps onto weather with first-applicable priority
+        # (loaded... still after p-weather, so PERMIT stands) — then
+        # retarget p-weather away so p-gps decides.
+        store.update(make_policy("p-gps", resource="weather", effect=Effect.DENY))
+        store.update(make_policy("p-weather", resource="gps"))
+        assert pdp.evaluate(weather).decision is Decision.DENY
+
+    def test_load_still_flushes_wholesale(self):
+        store = PolicyStore()
+        pdp = PolicyDecisionPoint(store)
+        request = Request.simple("u", "weather")
+        assert pdp.evaluate(request).decision is Decision.NOT_APPLICABLE
+        store.load(make_policy("p1"))
+        assert pdp.evaluate(request).decision is Decision.PERMIT
+        assert pdp.cache_stats()["full_flushes"] == 1
+
+    def test_lru_eviction_cleans_buckets(self):
+        store = PolicyStore()
+        store.load(make_policy("p-any"))
+        pdp = PolicyDecisionPoint(store, cache_size=2)
+        for subject in ("a", "b", "c", "d"):
+            pdp.evaluate(Request.simple(subject, "r"))
+        assert pdp.cache_stats()["entries"] == 2
+        # Every surviving bucket key must still be a live cache entry.
+        for bucket in pdp._buckets.values():
+            assert all(key in pdp._cache for key in bucket)
+        assert sum(len(b) for b in pdp._buckets.values()) == 2
+
     def test_cached_response_keeps_obligations(self):
         store = PolicyStore()
         obligation = Obligation("ob1", Effect.PERMIT)
