@@ -96,10 +96,12 @@ class StreamEngine:
 
     By default queries run on the compiled + batched execution path
     (filter conditions compiled to closures per schema, pipelines
-    evaluated batch-at-a-time).  ``compiled=False`` — or the
+    evaluated batch-at-a-time, window aggregation on columnar buffers
+    with incremental aggregate states).  ``compiled=False`` — or the
     :meth:`reference` constructor — pins every query to the seed
-    per-tuple interpreted path, the reference mode for differential
-    testing, mirroring ``PolicyDecisionPoint.reference()``.
+    per-tuple interpreted path (row-oriented window buffers,
+    recompute-per-window aggregation), the reference mode for
+    differential testing, mirroring ``PolicyDecisionPoint.reference()``.
     """
 
     def __init__(self, host: str = "dsms.local", compiled: bool = True):

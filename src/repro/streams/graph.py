@@ -146,13 +146,14 @@ class QueryGraphInstance:
 
     - **compiled** (default): :meth:`process_many` runs the pipeline
       stage by stage on whole batches via ``Operator.process_batch``,
-      and filters evaluate schema-compiled closures;
+      filters evaluate schema-compiled closures, and window aggregation
+      runs on columnar per-attribute buffers with incremental aggregate
+      states;
     - **reference** (``compiled=False``): every tuple walks the chain
       one box at a time, filter conditions are interpreted over the
-      expression AST (the seed evaluator) and projections use the seed
-      name-based ``StreamTuple.project``.  Window aggregation shares
-      one implementation in both modes; its semantics are pinned by
-      first-principles oracles rather than by this mode.  Kept for
+      expression AST (the seed evaluator), projections use the seed
+      name-based ``StreamTuple.project``, and window aggregation uses
+      the seed row-oriented recompute-per-window buffers.  Kept for
       differential testing, mirroring ``PolicyDecisionPoint.reference()``.
     """
 
@@ -162,10 +163,10 @@ class QueryGraphInstance:
         self._operators = [op.fresh_copy() for op in graph.operators]
         if not compiled:
             for operator in self._operators:
-                # Filter and map carry seed fallbacks behind this flag;
-                # window aggregation shares one implementation in both
-                # modes (verified against first-principles oracles in
-                # tests/properties/test_prop_streams.py).
+                # Filter, map and window aggregation all carry their
+                # seed implementations behind this flag (the window
+                # oracles in tests/properties/test_prop_streams.py and
+                # the equivalence harnesses pin both modes).
                 if hasattr(operator, "use_compiled"):
                     operator.use_compiled = False
         self._schemas = graph.schema_trace(input_schema)

@@ -5,15 +5,353 @@ The paper's obligation vocabulary draws aggregate functions from the set
 Sum.  Functions are looked up through a registry so downstream users can
 add their own (they must be registered on both the policy- and the
 engine-side to be usable in obligations).
+
+Besides the whole-window ``compute`` callable, a function may carry an
+*incremental state* factory (:class:`AggregateState`): a small object
+that consumes window churn as ``insert``/``evict`` pairs and answers
+``result`` in O(1), so overlapping sliding windows cost O(step) per
+advance instead of O(size) per emission.  Functions registered without
+a state factory (``median``, third-party registrations) transparently
+fall back to per-window recomputation over the columnar buffer.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import Callable, Dict, Sequence
+from collections import deque
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.errors import StreamError
 from repro.streams.schema import DataType, Field
+
+
+class AggregateState:
+    """Incremental computation of one aggregate over a sliding window.
+
+    The engine drives the state strictly window-fashion: values enter
+    through :meth:`insert` and leave through :meth:`evict` in FIFO
+    (arrival) order, mirroring how a sliding window advances.  The
+    evicted value is always the oldest value still held, and is passed
+    back in so sum-like states can reverse their update without storing
+    the window themselves.  :meth:`result` may be called between any
+    two operations and returns the aggregate over the currently-held
+    values; the engine never asks for the result of an empty state.
+    """
+
+    __slots__ = ()
+
+    def insert(self, value) -> None:
+        """Add *value* (the newest window element)."""
+        raise NotImplementedError
+
+    def evict(self, value) -> None:
+        """Remove *value* (always the oldest still-held element)."""
+        raise NotImplementedError
+
+    def result(self):
+        """The aggregate over the currently-held values."""
+        raise NotImplementedError
+
+    def insert_many(self, values: Sequence) -> None:
+        """Add *values* in order (newest last).
+
+        Equivalent to one :meth:`insert` per value; states whose update
+        distributes over a batch (sum, count, extremum) override this
+        with a single C-speed reduction per batch.
+        """
+        insert = self.insert
+        for value in values:
+            insert(value)
+
+    def evict_many(self, values: Sequence) -> None:
+        """Remove *values*, the oldest still-held elements, in order."""
+        evict = self.evict
+        for value in values:
+            evict(value)
+
+
+class _CountState(AggregateState):
+    __slots__ = ("n",)
+
+    def __init__(self):
+        self.n = 0
+
+    def insert(self, value) -> None:
+        self.n += 1
+
+    def evict(self, value) -> None:
+        self.n -= 1
+
+    def insert_many(self, values) -> None:
+        self.n += len(values)
+
+    def evict_many(self, values) -> None:
+        self.n -= len(values)
+
+    def result(self):
+        return self.n
+
+
+class _SumState(AggregateState):
+    """Running total with Neumaier compensation.
+
+    A bare running total permanently loses whatever a large-magnitude
+    intermediate absorbs: insert 1e16, insert 1.0 (rounded away — the
+    ulp at 1e16 is 2), evict the 1e16, and the window reports 0.0
+    forever after.  The compensation term catches what every add and
+    subtract rounds off, so the held error stays at ulp scale relative
+    to the data instead of to transient peaks; a fresh recomputation
+    can still differ by a few ulps (the equivalence harness uses
+    tolerances for double columns).  Int streams stay exact — every
+    correction is then exactly zero and arbitrary-precision int
+    arithmetic does the rest.
+    """
+
+    __slots__ = ("total", "correction")
+
+    def __init__(self):
+        self.total = 0
+        self.correction = 0
+
+    def _add(self, value) -> None:
+        total = self.total
+        added = total + value
+        if abs(total) >= abs(value):
+            self.correction += (total - added) + value
+        else:
+            self.correction += (value - added) + total
+        self.total = added
+
+    def _add_batch(self, values, sign: int) -> None:
+        """Compensated add of a whole batch.
+
+        A plain ``sum(values)`` pre-collapse would round small values
+        away *inside* the batch before the compensation could see them
+        (batch ``[1e16, 1.0]`` sums to 1e16 with the 1.0 gone), so
+        every value must pass through the compensated update.  Small
+        batches (a typical window advance) run an inlined Neumaier
+        loop; large batches take one C-speed ``sum`` pass plus one
+        ``math.fsum`` pass recovering the exactly-rounded residual
+        ``true − s`` through the compensated path.  An int batch sums
+        exactly (arbitrary precision) and skips the residual pass,
+        keeping all-int streams exact.
+        """
+        if len(values) <= 8:
+            total = self.total
+            correction = self.correction
+            for value in values:
+                if sign < 0:
+                    value = -value
+                added = total + value
+                if abs(total) >= abs(value):
+                    correction += (total - added) + value
+                else:
+                    correction += (value - added) + total
+                total = added
+            self.total = total
+            self.correction = correction
+            return
+        batch_sum = sum(values)
+        self._add(batch_sum if sign > 0 else -batch_sum)
+        if type(batch_sum) is int:
+            return
+        residual = math.fsum(itertools.chain(values, (-batch_sum,)))
+        if residual:
+            self._add(residual if sign > 0 else -residual)
+
+    def insert(self, value) -> None:
+        self._add(value)
+
+    def evict(self, value) -> None:
+        self._add(-value)
+
+    def insert_many(self, values) -> None:
+        self._add_batch(values, 1)
+
+    def evict_many(self, values) -> None:
+        self._add_batch(values, -1)
+
+    def result(self):
+        return self.total + self.correction
+
+
+class _AvgState(_SumState):
+    __slots__ = ("n",)
+
+    def __init__(self):
+        super().__init__()
+        self.n = 0
+
+    def insert(self, value) -> None:
+        self._add(value)
+        self.n += 1
+
+    def evict(self, value) -> None:
+        self._add(-value)
+        self.n -= 1
+
+    def insert_many(self, values) -> None:
+        self._add_batch(values, 1)
+        self.n += len(values)
+
+    def evict_many(self, values) -> None:
+        self._add_batch(values, -1)
+        self.n -= len(values)
+
+    def result(self):
+        return (self.total + self.correction) / self.n
+
+
+class _WelfordState(AggregateState):
+    """Welford running mean/M2, with the reverse update for eviction.
+
+    Insertion is the textbook single-pass recurrence; eviction inverts
+    it (solve the recurrence for the state without *value*).  M2 is
+    clamped at zero in :meth:`result` — reverse updates can leave a
+    tiny negative residue when the window variance collapses.
+    """
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def insert(self, value) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    def evict(self, value) -> None:
+        self.n -= 1
+        if self.n == 0:
+            self.mean = 0.0
+            self.m2 = 0.0
+            return
+        delta = value - self.mean
+        mean = self.mean - delta / self.n
+        self.m2 -= (value - mean) * delta
+        self.mean = mean
+
+    def result(self):
+        if self.n <= 1:
+            return 0.0
+        return math.sqrt(max(self.m2, 0.0) / (self.n - 1))
+
+
+class _MinMaxState(AggregateState):
+    """Sliding-window extremum via the two-stacks trick.
+
+    The window is split into an *in* stack (newest values, with one
+    running extremum) and an *out* stack (oldest values, each paired
+    with the extremum of everything above it).  Insert pushes on *in*;
+    evict pops from *out*, pouring *in* over when it runs dry — O(1)
+    amortized, and exact (no floating-point reassociation).
+    """
+
+    __slots__ = ("_better", "_in", "_in_best", "_out")
+
+    def __init__(self, better: Callable):
+        self._better = better  # two-argument min or max
+        self._in: list = []
+        self._in_best = None
+        self._out: list = []  # (value, extremum of this value and all newer)
+
+    def insert(self, value) -> None:
+        self._in.append(value)
+        self._in_best = (
+            value if self._in_best is None else self._better(self._in_best, value)
+        )
+
+    def insert_many(self, values) -> None:
+        if not values:
+            return
+        self._in.extend(values)
+        best = self._better(values)  # builtin min/max over the batch
+        self._in_best = (
+            best if self._in_best is None else self._better(self._in_best, best)
+        )
+
+    def evict(self, value) -> None:
+        if not self._out:
+            better = self._better
+            out_append = self._out.append
+            best = None
+            while self._in:
+                top = self._in.pop()
+                best = top if best is None else better(best, top)
+                out_append((top, best))
+            self._in_best = None
+        self._out.pop()
+
+    def result(self):
+        if not self._out:
+            return self._in_best
+        best = self._out[-1][1]
+        return best if self._in_best is None else self._better(best, self._in_best)
+
+
+class _FirstState(AggregateState):
+    """Oldest held value; needs the FIFO itself (evictions expose the
+    successor), so it keeps a deque of the window's values."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self):
+        self._queue = deque()
+
+    def insert(self, value) -> None:
+        self._queue.append(value)
+
+    def evict(self, value) -> None:
+        self._queue.popleft()
+
+    def insert_many(self, values) -> None:
+        self._queue.extend(values)
+
+    def evict_many(self, values) -> None:
+        popleft = self._queue.popleft
+        for _ in values:
+            popleft()
+
+    def result(self):
+        return self._queue[0]
+
+
+class _LastState(AggregateState):
+    """Newest held value.  FIFO eviction only ever removes the newest
+    value when it removes *everything*, so a value + count suffice."""
+
+    __slots__ = ("_n", "_last")
+
+    def __init__(self):
+        self._n = 0
+        self._last = None
+
+    def insert(self, value) -> None:
+        self._n += 1
+        self._last = value
+
+    def evict(self, value) -> None:
+        self._n -= 1
+        if not self._n:
+            self._last = None
+
+    def insert_many(self, values) -> None:
+        if values:
+            self._n += len(values)
+            self._last = values[-1]
+
+    def evict_many(self, values) -> None:
+        self._n -= len(values)
+        if not self._n:
+            self._last = None
+
+    def result(self):
+        return self._last
 
 
 class AggregateFunction:
@@ -23,6 +361,11 @@ class AggregateFunction:
     ``count`` always yields INT, ``avg``/``stdev`` always DOUBLE, while
     order statistics (min/max/first/last/median/sum) preserve the input
     type (sum of ints is an int; sum widens timestamps to double).
+
+    ``make_state`` (optional) is a zero-argument factory producing an
+    :class:`AggregateState` for incremental sliding-window evaluation;
+    functions without one are recomputed per window from the columnar
+    buffer, so third-party registrations keep working unchanged.
     """
 
     def __init__(
@@ -31,11 +374,13 @@ class AggregateFunction:
         compute: Callable[[Sequence], object],
         result_dtype: Callable[[DataType], DataType],
         requires_numeric: bool = True,
+        make_state: Optional[Callable[[], AggregateState]] = None,
     ):
         self.name = name.lower()
         self._compute = compute
         self._result_dtype = result_dtype
         self.requires_numeric = requires_numeric
+        self._make_state = make_state
 
     def validate_field(self, field: Field) -> None:
         if self.requires_numeric and not field.is_numeric:
@@ -57,6 +402,10 @@ class AggregateFunction:
         if not values:
             raise StreamError(f"aggregate {self.name!r} applied to an empty window")
         return self._compute(values)
+
+    def make_state(self) -> Optional[AggregateState]:
+        """A fresh incremental state, or None (recompute per window)."""
+        return self._make_state() if self._make_state is not None else None
 
     def __repr__(self) -> str:
         return f"AggregateFunction({self.name!r})"
@@ -88,12 +437,18 @@ def _median(values: Sequence) -> float:
 
 
 def _stdev(values: Sequence) -> float:
-    n = len(values)
-    mean = sum(values) / n
-    if n == 1:
-        return 0.0
-    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-    return math.sqrt(variance)
+    """Sample standard deviation via Welford's single-pass recurrence.
+
+    One pass instead of the two-pass mean-then-residuals formula, and
+    numerically stable (no catastrophic cancellation of large means).
+    Delegates to :class:`_WelfordState` — the insert recurrence over a
+    whole window IS the single-pass algorithm, and keeping one copy
+    keeps the recompute and incremental paths bit-identical on
+    insert-only histories.
+    """
+    state = _WelfordState()
+    state.insert_many(values)
+    return state.result()
 
 
 #: Registry of built-in aggregate functions, keyed by lower-case name.
@@ -123,15 +478,29 @@ def get_aggregate_function(name: str) -> AggregateFunction:
         ) from None
 
 
+def _min_state() -> _MinMaxState:
+    return _MinMaxState(min)
+
+
+def _max_state() -> _MinMaxState:
+    return _MinMaxState(max)
+
+
+#: ``median`` has no O(1) sliding-window state (an order statistic needs
+#: the window's sorted content), so it stays on the recompute fallback.
 for _function in (
-    AggregateFunction("avg", lambda v: sum(v) / len(v), _always_double),
-    AggregateFunction("sum", sum, _sum_dtype),
-    AggregateFunction("min", min, _preserve),
-    AggregateFunction("max", max, _preserve),
-    AggregateFunction("count", len, _always_int, requires_numeric=False),
-    AggregateFunction("lastval", lambda v: v[-1], _preserve, requires_numeric=False),
-    AggregateFunction("firstval", lambda v: v[0], _preserve, requires_numeric=False),
+    AggregateFunction("avg", lambda v: sum(v) / len(v), _always_double,
+                      make_state=_AvgState),
+    AggregateFunction("sum", sum, _sum_dtype, make_state=_SumState),
+    AggregateFunction("min", min, _preserve, make_state=_min_state),
+    AggregateFunction("max", max, _preserve, make_state=_max_state),
+    AggregateFunction("count", len, _always_int, requires_numeric=False,
+                      make_state=_CountState),
+    AggregateFunction("lastval", lambda v: v[-1], _preserve, requires_numeric=False,
+                      make_state=_LastState),
+    AggregateFunction("firstval", lambda v: v[0], _preserve, requires_numeric=False,
+                      make_state=_FirstState),
     AggregateFunction("median", _median, _always_double),
-    AggregateFunction("stdev", _stdev, _always_double),
+    AggregateFunction("stdev", _stdev, _always_double, make_state=_WelfordState),
 ):
     register_aggregate_function(_function)

@@ -58,7 +58,7 @@ class MapOperator(Operator):
         if cached == key:
             self._compiled_key = key
             return
-        indices = [input_schema.position(name) for name in output_schema.attribute_names]
+        indices = input_schema.positions(output_schema.attribute_names)
         if len(indices) == 1:
             index = indices[0]
             self._project_values = lambda values: (values[index],)

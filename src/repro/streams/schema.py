@@ -185,6 +185,15 @@ class Schema:
         except KeyError:
             raise UnknownAttributeError(attribute, self.name) from None
 
+    def positions(self, attributes: Iterable[str]) -> Tuple[int, ...]:
+        """Positions of *attributes* (case-insensitive), in argument order.
+
+        The batch paths resolve a whole attribute list to value-vector
+        indices once per schema with this (columnar window buffers,
+        compiled projections) instead of one lookup per tuple.
+        """
+        return tuple(self.position(attribute) for attribute in attributes)
+
     def canonical_name(self, attribute: str) -> str:
         """Return the declared spelling of *attribute*."""
         return self.field(attribute).name

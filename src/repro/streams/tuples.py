@@ -7,7 +7,7 @@ operators always emit *new* tuples rather than mutating inputs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.streams.schema import Schema
@@ -109,3 +109,19 @@ def make_tuple(schema: Schema, record: Mapping[str, Any]) -> StreamTuple:
 def make_tuples(schema: Schema, records: Iterable[Mapping[str, Any]]):
     """Build a list of validated tuples from an iterable of mappings."""
     return [make_tuple(schema, record) for record in records]
+
+
+def extract_columns(
+    tuples: Sequence[StreamTuple], positions: Sequence[int]
+) -> List[List[Any]]:
+    """Transpose a same-schema batch into per-position value columns.
+
+    The row→column pivot shared by the batch execution paths: the
+    columnar window buffers extend their per-attribute ring buffers
+    with the result, and projection-style consumers get schema-ordered
+    vectors without one name lookup per tuple per attribute.  The rows
+    are materialized once, then each requested position is gathered in
+    its own tight pass.
+    """
+    rows = [t.values for t in tuples]
+    return [[row[position] for row in rows] for position in positions]

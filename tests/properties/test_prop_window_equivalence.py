@@ -1,0 +1,242 @@
+"""Differential tests: columnar-incremental window aggregation ≡ seed.
+
+The columnar path (per-attribute ring buffers + incremental
+:class:`~repro.streams.operators.aggregate.AggregateState` objects,
+with the two-stacks trick for min/max and reverse-Welford for stdev)
+must be output-equivalent to the seed row-oriented
+recompute-per-window path (``use_compiled=False`` /
+``StreamEngine.reference()``) over hypothesis-generated streams and
+window specs — tuple and time windows, step < size (overlapping,
+where the incremental states actually engage), step = size and
+step > size (gaps), random batch partitions, and out-of-order
+timestamps for the time-window scan fallback.
+
+Comparison discipline: **exact** equality for min/max/count/first/
+last/median, for every aggregate over int columns (running int sums
+are arbitrary-precision), and for all time windows (their columnar
+path recomputes from column slices, which reassociates nothing);
+**float tolerance** for avg/sum/stdev over double columns on
+overlapping tuple windows, where incremental eviction legitimately
+drifts from a fresh recomputation by a few ulps.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.schema import DataType, Field, Schema
+from repro.streams.tuples import StreamTuple
+
+SCHEMA = Schema(
+    "w",
+    [
+        Field("t", DataType.TIMESTAMP),
+        Field("x", DataType.DOUBLE),
+        Field("i", DataType.INT),
+    ],
+)
+
+#: Every built-in aggregate, over the double and the int column.
+AGG_POOL = [
+    "x:avg", "x:sum", "x:count", "x:min", "x:max",
+    "x:firstval", "x:lastval", "x:stdev", "x:median",
+    "i:sum", "i:min", "i:max", "i:avg",
+]
+
+#: Aggregations whose incremental state does float arithmetic that can
+#: drift from recomputation (running add/subtract, reverse-Welford).
+DRIFTING = {"avg", "sum", "stdev"}
+
+values_strategy = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False, width=32),
+    min_size=0,
+    max_size=60,
+)
+
+
+def make_tuples(values, timestamps=None):
+    if timestamps is None:
+        timestamps = [float(index) for index in range(len(values))]
+    return [
+        StreamTuple(SCHEMA, (float(ts), float(v), int(v)))
+        for ts, v in zip(timestamps, values)
+    ]
+
+
+def build_graph(window_type, size, step, agg_texts):
+    specs = [AggregationSpec.parse(text) for text in agg_texts]
+    return QueryGraph("w").append(
+        AggregateOperator(
+            WindowSpec(window_type, size, step),
+            specs,
+            time_attribute="t" if window_type is WindowType.TIME else None,
+        )
+    )
+
+
+def partition(items, cuts):
+    batches, last = [], 0
+    for cut in sorted(set(cuts)):
+        batches.append(items[last:cut])
+        last = cut
+    batches.append(items[last:])
+    return batches
+
+
+def assert_equivalent(got, expected, output_schema, specs):
+    """Per-field comparison: exact, except float tolerance where the
+    incremental state legitimately reassociates float arithmetic."""
+    assert len(got) == len(expected)
+    field_rules = [
+        (field.dtype is DataType.DOUBLE and spec.function.name in DRIFTING)
+        for field, spec in zip(output_schema, specs)
+    ]
+    for got_tuple, expected_tuple in zip(got, expected):
+        for tolerant, g, e in zip(field_rules, got_tuple.values, expected_tuple.values):
+            if tolerant:
+                assert math.isclose(g, e, rel_tol=1e-6, abs_tol=1e-4), (g, e)
+            else:
+                assert g == e, (g, e)
+
+
+def run_pair(graph, tuples, cuts):
+    """(columnar outputs over a random batch partition, seed outputs)."""
+    columnar = graph.instantiate(SCHEMA)
+    got = []
+    for batch in partition(tuples, cuts):
+        got.extend(columnar.process_many(batch))
+    reference = graph.instantiate(SCHEMA, compiled=False)
+    expected = []
+    for tup in tuples:
+        expected.extend(reference.process(tup))
+    return got, expected, columnar.output_schema
+
+
+class TestTupleWindowEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=values_strategy,
+        size=st.integers(min_value=1, max_value=8),
+        step=st.integers(min_value=1, max_value=8),
+        aggs=st.lists(st.sampled_from(AGG_POOL), min_size=1, max_size=5, unique=True),
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=5),
+    )
+    def test_columnar_matches_seed(self, values, size, step, aggs, cuts):
+        graph = build_graph(WindowType.TUPLE, size, step, aggs)
+        tuples = make_tuples(values)
+        got, expected, output_schema = run_pair(graph, tuples, cuts)
+        assert_equivalent(
+            got, expected, output_schema, graph.aggregate_operator.aggregations
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=values_strategy,
+        size=st.integers(min_value=2, max_value=10),
+        aggs=st.lists(st.sampled_from(AGG_POOL), min_size=1, max_size=4, unique=True),
+    )
+    def test_fully_overlapping_window(self, values, size, aggs):
+        """step=1 is the maximum-overlap stress for the state machinery
+        (every tuple triggers one insert and one evict per spec)."""
+        graph = build_graph(WindowType.TUPLE, size, 1, aggs)
+        tuples = make_tuples(values)
+        got, expected, output_schema = run_pair(graph, tuples, [7, 8, 23])
+        assert_equivalent(
+            got, expected, output_schema, graph.aggregate_operator.aggregations
+        )
+
+
+class TestTimeWindowEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        values=values_strategy,
+        deltas=st.lists(
+            st.floats(min_value=0, max_value=5, allow_nan=False, width=16),
+            min_size=0,
+            max_size=60,
+        ),
+        size=st.integers(min_value=1, max_value=10),
+        step=st.integers(min_value=1, max_value=10),
+        aggs=st.lists(st.sampled_from(AGG_POOL), min_size=1, max_size=4, unique=True),
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=4),
+    )
+    def test_monotonic_timestamps(self, values, deltas, size, step, aggs, cuts):
+        """Monotonic timestamps (the pointer-eviction fast path):
+        the columnar path recomputes from slices, so equality is exact."""
+        n = min(len(values), len(deltas))
+        timestamps, now = [], 0.0
+        for delta in deltas[:n]:
+            now += delta
+            timestamps.append(now)
+        graph = build_graph(WindowType.TIME, size, step, aggs)
+        tuples = make_tuples(values[:n], timestamps)
+        got, expected, output_schema = run_pair(graph, tuples, cuts)
+        assert [t.values for t in got] == [t.values for t in expected]
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        values=values_strategy,
+        timestamps=st.lists(
+            st.floats(min_value=0, max_value=60, allow_nan=False, width=16),
+            min_size=0,
+            max_size=60,
+        ),
+        size=st.integers(min_value=1, max_value=10),
+        step=st.integers(min_value=1, max_value=10),
+        aggs=st.lists(st.sampled_from(AGG_POOL), min_size=1, max_size=4, unique=True),
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=4),
+    )
+    def test_out_of_order_timestamps(self, values, timestamps, size, step, aggs, cuts):
+        """Arbitrary (possibly non-monotonic) timestamps exercise the
+        scan fallback and the monotonic→scan mid-stream transition."""
+        n = min(len(values), len(timestamps))
+        graph = build_graph(WindowType.TIME, size, step, aggs)
+        tuples = make_tuples(values[:n], timestamps[:n])
+        got, expected, output_schema = run_pair(graph, tuples, cuts)
+        assert [t.values for t in got] == [t.values for t in expected]
+
+
+class TestEngineLevelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=values_strategy,
+        size=st.integers(min_value=1, max_value=6),
+        step=st.integers(min_value=1, max_value=6),
+        cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=3),
+    )
+    def test_compiled_engine_matches_reference_engine(self, values, size, step, cuts):
+        """Acceptance criterion: the default engine path is
+        output-identical (modulo float drift) to StreamEngine.reference()."""
+        aggs = ["x:avg", "x:min", "x:max", "x:count", "i:sum"]
+        recs = make_tuples(values)
+        outputs = {}
+        for mode in ("reference", "compiled"):
+            engine = (
+                StreamEngine.reference() if mode == "reference" else StreamEngine()
+            )
+            engine.register_input_stream("w", SCHEMA)
+            handle = engine.register_query(
+                build_graph(WindowType.TUPLE, size, step, aggs)
+            )
+            if mode == "reference":
+                for tup in recs:
+                    engine.push("w", tup)
+            else:
+                for batch in partition(recs, cuts):
+                    engine.push_batch("w", batch)
+            outputs[mode] = engine.read(handle)
+            output_schema = engine.lookup(handle).output_schema
+        assert_equivalent(
+            outputs["compiled"],
+            outputs["reference"],
+            output_schema,
+            [AggregationSpec.parse(text) for text in aggs],
+        )

@@ -1,6 +1,7 @@
-"""Tests for the aggregate-function registry."""
+"""Tests for the aggregate-function registry and incremental states."""
 
 import math
+import random
 
 import pytest
 
@@ -8,6 +9,7 @@ from repro.errors import StreamError
 from repro.streams.operators.aggregate import (
     AGGREGATE_FUNCTIONS,
     AggregateFunction,
+    AggregateState,
     get_aggregate_function,
     register_aggregate_function,
 )
@@ -107,3 +109,156 @@ class TestRegistration:
             assert get_aggregate_function("range").compute([1, 5, 3]) == 4
         finally:
             AGGREGATE_FUNCTIONS.pop("range", None)
+
+    def test_custom_function_has_no_state(self):
+        """Third-party registrations without a state factory fall back
+        to recompute-per-window (make_state returns None)."""
+        function = AggregateFunction("range", lambda v: max(v) - min(v), lambda d: d)
+        assert function.make_state() is None
+
+
+class TestIncrementalStates:
+    """make_state() drives a sliding window exactly like the engine:
+    FIFO insert/evict; result must track the recompute answer."""
+
+    STATEFUL = ("avg", "sum", "min", "max", "count", "lastval", "firstval", "stdev")
+
+    def slide(self, name, values, size, exact=True):
+        """Slide a size-`size` step-1 window over *values*, comparing
+        the incremental result to compute() at every position."""
+        function = get_aggregate_function(name)
+        state = function.make_state()
+        assert state is not None
+        for index, value in enumerate(values):
+            state.insert(value)
+            if index >= size:
+                state.evict(values[index - size])
+            window = values[max(0, index - size + 1): index + 1]
+            expected = function.compute(window)
+            got = state.result()
+            if exact:
+                assert got == expected, (name, index, got, expected)
+            else:
+                assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_all_stateful_functions_on_ints(self):
+        rng = random.Random(7)
+        values = [rng.randint(-100, 100) for _ in range(80)]
+        for name in self.STATEFUL:
+            exact = name not in ("avg", "stdev")
+            self.slide(name, values, size=7, exact=exact)
+
+    def test_all_stateful_functions_on_floats(self):
+        rng = random.Random(11)
+        values = [rng.uniform(-50, 50) for _ in range(80)]
+        for name in self.STATEFUL:
+            exact = name in ("min", "max", "count", "lastval", "firstval")
+            self.slide(name, values, size=5, exact=exact)
+
+    def test_min_max_exact_under_duplicates(self):
+        """The two-stacks extremum must survive duplicate values and
+        repeated pour-overs."""
+        values = [3, 1, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1, 1, 1]
+        self.slide("min", values, size=4)
+        self.slide("max", values, size=4)
+
+    def test_welford_eviction_down_to_empty(self):
+        state = get_aggregate_function("stdev").make_state()
+        for value in (2.0, 4.0, 4.0):
+            state.insert(value)
+        for value in (2.0, 4.0, 4.0):
+            state.evict(value)
+        state.insert(10.0)
+        state.insert(14.0)
+        assert math.isclose(state.result(), get_aggregate_function("stdev").compute([10.0, 14.0]))
+
+    def test_median_has_no_state(self):
+        assert get_aggregate_function("median").make_state() is None
+
+    def test_insert_many_evict_many_match_per_value(self):
+        """The batched state entry points must agree with value-at-a-time
+        driving (the overrides reduce whole batches in C)."""
+        rng = random.Random(5)
+        values = [rng.randint(-30, 30) for _ in range(40)]
+        for name in self.STATEFUL:
+            function = get_aggregate_function(name)
+            batched, stepped = function.make_state(), function.make_state()
+            batched.insert_many(values)
+            for value in values:
+                stepped.insert(value)
+            assert batched.result() == stepped.result() or math.isclose(
+                batched.result(), stepped.result(), rel_tol=1e-9
+            ), name
+            batched.evict_many(values[:25])
+            for value in values[:25]:
+                stepped.evict(value)
+            assert batched.result() == stepped.result() or math.isclose(
+                batched.result(), stepped.result(), rel_tol=1e-9
+            ), name
+
+    def test_sum_avg_survive_large_outlier_eviction(self):
+        """Neumaier compensation: small values absorbed by a huge
+        intermediate total must reappear once the outlier evicts —
+        a bare running total would report 0.0 forever after."""
+        for name, expected in (("sum", 3.0), ("avg", 1.0)):
+            state = get_aggregate_function(name).make_state()
+            state.insert(1e16)
+            for _ in range(3):
+                state.insert(1.0)
+            state.evict(1e16)
+            assert state.result() == expected, name
+
+    def test_sum_avg_batched_outlier_absorption_recovered(self):
+        """The batched entry points must compensate *within* the batch
+        too: a plain sum() pre-collapse of [1e16, 1.0, 1.0, 1.0] loses
+        the small values before any compensation could see them."""
+        for name, expected in (("sum", 3.0), ("avg", 1.0)):
+            state = get_aggregate_function(name).make_state()
+            state.insert_many([1e16, 1.0, 1.0, 1.0])
+            state.evict_many([1e16])
+            assert state.result() == expected, name
+
+    def test_int_sum_stays_exact_int(self):
+        state = get_aggregate_function("sum").make_state()
+        for value in (10**18, 3, -(10**18)):
+            state.insert(value)
+        state.evict(10**18)
+        assert state.result() == 3 - 10**18
+        assert isinstance(state.result(), int)
+
+    def test_protocol_base_raises(self):
+        state = AggregateState()
+        with pytest.raises(NotImplementedError):
+            state.insert(1)
+        with pytest.raises(NotImplementedError):
+            state.evict(1)
+        with pytest.raises(NotImplementedError):
+            state.result()
+
+
+class TestWelfordStdev:
+    """The module-level _stdev is now Welford single-pass; it must agree
+    with the two-pass textbook formula and stay stable for large means."""
+
+    def two_pass(self, values):
+        n = len(values)
+        mean = sum(values) / n
+        if n == 1:
+            return 0.0
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / (n - 1))
+
+    def test_matches_two_pass(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            values = [rng.uniform(-100, 100) for _ in range(rng.randint(1, 30))]
+            got = get_aggregate_function("stdev").compute(values)
+            assert math.isclose(got, self.two_pass(values), rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_large_mean_stability(self):
+        """Catastrophic-cancellation regime: huge mean, tiny variance.
+        Welford keeps full precision where naive E[x²]−E[x]² collapses."""
+        base = 1e9
+        values = [base + offset for offset in (0.0, 1.0, 2.0, 3.0)]
+        got = get_aggregate_function("stdev").compute(values)
+        expected = self.two_pass([0.0, 1.0, 2.0, 3.0])
+        assert math.isclose(got, expected, rel_tol=1e-6)

@@ -188,6 +188,122 @@ class TestTupleWindows:
         assert outputs == []  # fresh state: window not yet full
 
 
+class TestColumnarWindows:
+    """Columnar-path specifics: reference-mode flag, recompute fallback,
+    state reset, gaps, and the time-window scan fallback."""
+
+    def overlapping_operator(self, use_compiled=True):
+        return AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 4, 1),
+            [AggregationSpec.parse("x:avg"), AggregationSpec.parse("x:min"),
+             AggregationSpec.parse("x:lastval")],
+            use_compiled=use_compiled,
+        )
+
+    def test_reference_flag_matches_columnar(self):
+        stream = tuples(5, 1, 4, 1, 5, 9, 2, 6)
+        _, compiled_out = run(self.overlapping_operator(True), SCHEMA, stream)
+        _, reference_out = run(self.overlapping_operator(False), SCHEMA, stream)
+        assert [t.values for t in compiled_out] == [t.values for t in reference_out]
+
+    def test_median_falls_back_to_recompute(self):
+        """median has no incremental state; it must still be correct on
+        an overlapping window via the column-slice fallback."""
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 3, 1),
+            [AggregationSpec.parse("x:median"), AggregationSpec.parse("x:count")],
+        )
+        _, outputs = run(operator, SCHEMA, tuples(5, 1, 4, 2, 8))
+        assert [t["medianx"] for t in outputs] == [4.0, 2.0, 4.0]
+        assert all(t["countx"] == 3 for t in outputs)
+
+    def test_fresh_copy_resets_columnar_state(self):
+        operator = self.overlapping_operator()
+        _, outputs = run(operator, SCHEMA, tuples(1, 2, 3, 4, 5))
+        assert len(outputs) == 2
+        clone = operator.fresh_copy()
+        assert clone.use_compiled
+        _, outputs = run(clone, SCHEMA, tuples(1, 2, 3))
+        assert outputs == []  # fresh state: window not yet full
+
+    def test_gap_windows_with_incremental_state(self):
+        """step > size leaves gaps; shares the sweep with step < size."""
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 2, 5), [AggregationSpec.parse("x:max")]
+        )
+        _, outputs = run(operator, SCHEMA, tuples(*range(14)))
+        assert [t["maxx"] for t in outputs] == [1.0, 6.0, 11.0]
+
+    def test_batch_vs_single_identical(self):
+        operator = self.overlapping_operator()
+        out_schema = operator.output_schema(SCHEMA)
+        batch_out = operator.process_batch(tuples(3, 1, 4, 1, 5, 9, 2), out_schema)
+        _, single_out = run(self.overlapping_operator(), SCHEMA, tuples(3, 1, 4, 1, 5, 9, 2))
+        assert [t.values for t in batch_out] == [t.values for t in single_out]
+
+    def test_out_of_order_time_window_matches_reference(self):
+        """A late timestamp flips the columnar time path into scan mode
+        mid-stream; output must still match the seed row path."""
+        stamps = [(0.0, 1), (5.0, 2), (3.0, 7), (11.0, 4), (2.0, 9), (24.0, 5)]
+        outputs = {}
+        for mode, use_compiled in (("columnar", True), ("reference", False)):
+            operator = AggregateOperator(
+                WindowSpec(WindowType.TIME, 10, 5),
+                [AggregationSpec.parse("x:sum"), AggregationSpec.parse("x:firstval")],
+                use_compiled=use_compiled,
+            )
+            tuples_in = [
+                make_tuple(SCHEMA, {"t": t, "x": float(x), "tag": "a"})
+                for t, x in stamps
+            ]
+            _, outputs[mode] = run(operator, SCHEMA, tuples_in)
+        assert [t.values for t in outputs["columnar"]] == [
+            t.values for t in outputs["reference"]
+        ]
+
+    def test_outlier_eviction_recovers_exactly(self):
+        """Once a 1e16 outlier evicts, the compensated running sum must
+        report the exact small-value sums — a bare running total would
+        have absorbed them and report 0.0 forever after.  (While the
+        outlier is still in the window, compensation makes the
+        incremental result a few ulps *more* accurate than recompute,
+        so only the post-outlier windows are compared exactly.)"""
+        values = [1e16, 1.0, 1.0, 1.0, 1.0, 2.0, 3.0]
+        expected_post_outlier = [(3.0, 1.0), (4.0, 4.0 / 3.0), (6.0, 2.0)]
+        for feed in ("per_tuple", "whole_batch"):
+            outputs = {}
+            for mode, use_compiled in (("columnar", True), ("reference", False)):
+                operator = AggregateOperator(
+                    WindowSpec(WindowType.TUPLE, 3, 1),
+                    [AggregationSpec.parse("x:sum"), AggregationSpec.parse("x:avg")],
+                    use_compiled=use_compiled,
+                )
+                if feed == "per_tuple":
+                    _, outputs[mode] = run(operator, SCHEMA, tuples(*values))
+                else:
+                    out_schema = operator.output_schema(SCHEMA)
+                    outputs[mode] = operator.process_batch(
+                        tuples(*values), out_schema
+                    )
+            # Windows after the outlier left: [1,1,1], [1,1,2], [1,2,3].
+            post_outlier = [t.values for t in outputs["columnar"]][2:]
+            assert post_outlier == expected_post_outlier, feed
+            assert post_outlier == [t.values for t in outputs["reference"]][2:]
+
+    def test_long_stream_buffer_stays_bounded(self):
+        """The columnar ring buffer must trim its dead prefix."""
+        operator = AggregateOperator(
+            WindowSpec(WindowType.TUPLE, 8, 2), [AggregationSpec.parse("x:sum")]
+        )
+        out_schema = operator.output_schema(SCHEMA)
+        for chunk_start in range(0, 400, 16):
+            operator.process_batch(
+                tuples(*range(chunk_start, chunk_start + 16)), out_schema
+            )
+        buffered = len(operator._columnar.cols[0])
+        assert buffered <= 8 + 16  # window tail + at most one batch
+
+
 class TestTimeWindows:
     def test_time_window_basic(self):
         operator = AggregateOperator(
