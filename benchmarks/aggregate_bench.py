@@ -1,0 +1,81 @@
+"""Aggregate every ``BENCH_*.json`` artifact into one trajectory summary.
+
+Each performance PR leaves a machine-readable benchmark artifact at the
+repo root (``BENCH_operator_eval.json``, ``BENCH_window_agg.json``,
+``BENCH_pdp_sharding.json``, ...).  Individually they answer "how fast
+is this subsystem"; this script folds them into a single
+``BENCH_trajectory.json`` — the performance trajectory of the repo —
+so CI uploads one artifact that answers "what has the project gained,
+PR over PR" and regressions stand out as a dropped headline number.
+
+Headline extraction is structural, not per-benchmark: every numeric
+value under a key containing ``speedup`` (at any nesting depth) is
+collected with its dotted path, so future benchmarks join the
+trajectory by emitting the same convention instead of editing this
+script.
+
+Usage: ``python benchmarks/aggregate_bench.py [--check]``
+(``--check`` exits non-zero when no artifacts are found — the CI step
+uses it so an accidentally-deleted artifact fails loudly).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_trajectory.json"
+
+
+def find_speedups(node, path=""):
+    """Yield (dotted_path, value) for every numeric *speedup* key."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            child = f"{path}.{key}" if path else str(key)
+            if "speedup" in str(key).lower() and isinstance(value, (int, float)):
+                yield child, float(value)
+            else:
+                yield from find_speedups(value, child)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from find_speedups(value, f"{path}[{index}]")
+
+
+def aggregate() -> dict:
+    benchmarks = {}
+    for artifact in sorted(ROOT.glob("BENCH_*.json")):
+        if artifact == OUTPUT:
+            continue
+        name = artifact.stem[len("BENCH_"):]
+        try:
+            benchmarks[name] = json.loads(artifact.read_text())
+        except ValueError as error:
+            print(f"warning: skipping unreadable {artifact.name}: {error}",
+                  file=sys.stderr)
+    headline = {
+        name: dict(find_speedups(data)) for name, data in benchmarks.items()
+    }
+    return {
+        "artifacts": len(benchmarks),
+        "headline_speedups": {k: v for k, v in headline.items() if v},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv) -> int:
+    trajectory = aggregate()
+    OUTPUT.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT.name}: {trajectory['artifacts']} artifact(s)")
+    for name, speedups in sorted(trajectory["headline_speedups"].items()):
+        for path, value in sorted(speedups.items()):
+            print(f"  {name:>16s}  {path:<40s} {value:6.1f}x")
+    if "--check" in argv and trajectory["artifacts"] == 0:
+        print("error: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -5,6 +5,13 @@ access registry, a query-graph manager and a PEP over one stream engine.
 It is the unit the eXACML+ framework deploys on the data server — "new
 XACML+ instances are added into the framework to handle access control
 needs on data streams".
+
+``pdp_shards=N`` swaps the store/PDP pair for the sharded analogues of
+:mod:`repro.xacml.sharding` (N hash-partitioned shard stores, requests
+routed to the owning shard's PDP, one invalidation bus feeding graph
+revocation and every cross-shard observer).  The default single-store
+wiring is unchanged and remains the reference mode the sharding
+differential harness compares against.
 """
 
 from __future__ import annotations
@@ -37,14 +44,37 @@ class XacmlPlusInstance:
         clock=None,
         pdp_use_index: bool = True,
         pdp_cache_size: Optional[int] = None,
+        pdp_shards: Optional[int] = None,
     ):
         self.engine = engine if engine is not None else StreamEngine()
-        self.store = PolicyStore()
-        self.pdp = PolicyDecisionPoint(
-            self.store,
-            use_index=pdp_use_index,
-            cache_size=DEFAULT_CACHE_SIZE if pdp_cache_size is None else pdp_cache_size,
-        )
+        cache_size = DEFAULT_CACHE_SIZE if pdp_cache_size is None else pdp_cache_size
+        if pdp_shards is not None and pdp_shards > 1:
+            if not pdp_use_index:
+                # Shard PDPs are always indexed — routing itself relies
+                # on the index's over-approximation guarantee, so a
+                # linear-scan sharded PDP does not exist.  Refuse rather
+                # than silently change candidate-selection semantics
+                # (a NotApplicable-sensitive custom combining algorithm
+                # needs the single-store reference PDP).
+                raise ValueError(
+                    "pdp_use_index=False is incompatible with pdp_shards: "
+                    "use the unsharded instance for linear-scan semantics"
+                )
+            from repro.xacml.sharding import ShardedPDP, ShardedPolicyStore
+
+            # The sharded store presents the PolicyStore listener/mutation
+            # contract, so the graph manager, audit trails and proxies
+            # subscribe to it exactly as to a single store (they observe
+            # one logical event per mutation via the invalidation bus).
+            self.store = ShardedPolicyStore(pdp_shards)
+            self.pdp = ShardedPDP(self.store, cache_size=cache_size)
+        else:
+            self.store = PolicyStore()
+            self.pdp = PolicyDecisionPoint(
+                self.store,
+                use_index=pdp_use_index,
+                cache_size=cache_size,
+            )
         self.access_registry = AccessRegistry(enforce=enforce_single_access)
         self.graph_manager = QueryGraphManager(
             self.engine, self.store, self.access_registry

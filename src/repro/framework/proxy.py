@@ -8,7 +8,21 @@ server previously returned.  A hit answers the client without touching
 the server (or the DSMS) at all.
 
 The cache is LRU-bounded; entries are invalidated when the underlying
-handle is withdrawn (revocation must not be masked by the proxy).
+handle is withdrawn (revocation must not be masked by the proxy).  Two
+mechanisms keep that guarantee:
+
+- **revalidation** — every hit checks the handle is still live before
+  answering (the seed behaviour, kept as the backstop);
+- **proactive purge** — the proxy subscribes to the server's policy
+  store (a single :class:`~repro.xacml.store.PolicyStore` or the
+  invalidation bus of a :class:`~repro.xacml.sharding.ShardedPolicyStore`
+  — both present the same listener contract) and drops every entry whose
+  handle died when a policy is removed or updated, so revoked handles do
+  not linger in the cache occupying LRU slots until their next lookup.
+
+Store listeners run in subscription order and the graph manager
+subscribes at instance construction, so by the time the proxy observes
+an event the spawned graphs are already withdrawn.
 """
 
 from __future__ import annotations
@@ -48,6 +62,13 @@ class Proxy:
         self._cache: "OrderedDict[str, StreamResponseMessage]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped by policy-event purges (vs lazy revalidation).
+        self.proactive_invalidations = 0
+        # A cache-less proxy has nothing to purge, so it doesn't pin
+        # itself to the store's listener list (mirroring the cache-less
+        # PDP's behaviour).
+        if cache_enabled:
+            self.server.instance.store.add_listener(self._on_policy_event)
 
     def process(self, message: StreamRequestMessage) -> ProxyResult:
         """Serve one client request, consulting the cache first."""
@@ -77,6 +98,37 @@ class Proxy:
     def invalidate(self) -> None:
         """Drop every cache entry."""
         self._cache.clear()
+
+    def detach(self) -> None:
+        """Unsubscribe from the server's policy store events.
+
+        Call when discarding a transient proxy over a long-lived server,
+        so the store's listener list doesn't keep the proxy (and its
+        handle cache) alive and swept on every policy event — the same
+        lifecycle contract as ``PolicyDecisionPoint.detach``.
+        """
+        self.server.instance.store.remove_listener(self._on_policy_event)
+
+    def _on_policy_event(self, event: str, policy) -> None:
+        """Purge entries whose handle a policy removal/update revoked.
+
+        Runs after the graph manager's revocation listener (subscription
+        order), so a dead handle is observable here the moment the event
+        fires.  Purging only what actually died keeps unrelated hot
+        entries warm; output-wise this is identical to lazy revalidation
+        (a purged entry would have failed its next liveness check), it
+        just stops revoked handles from squatting in LRU slots.
+        """
+        if event not in ("removed", "updated") or not self._cache:
+            return
+        dead = [
+            key
+            for key, response in self._cache.items()
+            if not self._handle_live(response)
+        ]
+        for key in dead:
+            self._cache.pop(key, None)
+            self.proactive_invalidations += 1
 
     # -- internals ---------------------------------------------------------------
 

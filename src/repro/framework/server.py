@@ -56,6 +56,7 @@ class DataServer:
         name: str = "server",
         pdp_use_index: bool = True,
         pdp_cache_size: Optional[int] = None,
+        pdp_shards: Optional[int] = None,
     ):
         self.network = network
         self.name = name
@@ -66,6 +67,7 @@ class DataServer:
             allow_partial_results=allow_partial_results,
             pdp_use_index=pdp_use_index,
             pdp_cache_size=pdp_cache_size,
+            pdp_shards=pdp_shards,
         )
         #: Count of requests processed (all outcomes).
         self.requests_processed = 0

@@ -22,6 +22,7 @@ from repro.xacml.policyset import PolicySet
 from repro.xacml.combining import RuleCombiningAlgorithm, PolicyCombiningAlgorithm
 from repro.xacml.index import PolicyIndex
 from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.sharding import InvalidationBus, ShardedPDP, ShardedPolicyStore
 from repro.xacml.store import PolicyStore
 from repro.xacml.xml_io import (
     parse_policy_xml,
@@ -46,9 +47,12 @@ __all__ = [
     "Target",
     "RuleCombiningAlgorithm",
     "PolicyCombiningAlgorithm",
+    "InvalidationBus",
     "PolicyDecisionPoint",
     "PolicyIndex",
     "PolicyStore",
+    "ShardedPDP",
+    "ShardedPolicyStore",
     "parse_policy_xml",
     "parse_request_xml",
     "policy_to_xml",

@@ -38,6 +38,12 @@ Both paths are decision- and obligation-identical to the linear scan for
 the built-in combining algorithms, which ignore NotApplicable policies.
 A custom :class:`~repro.xacml.combining.PolicyCombiningAlgorithm` that
 is sensitive to non-applicable entries must use a reference PDP.
+
+This PDP is also the reference mode for the *sharded* engine: a
+:class:`~repro.xacml.sharding.ShardedPDP` over N shard stores must be
+decision-identical to one ``PolicyDecisionPoint.reference()`` over a
+single store holding the same policies (the sharding differential
+harness pins it), and each shard internally runs one of these PDPs.
 """
 
 from __future__ import annotations
@@ -52,6 +58,29 @@ from repro.xacml.store import PolicyStore
 
 #: Default number of cached decisions.
 DEFAULT_CACHE_SIZE = 4096
+
+
+def decide(candidates, request: Request, combining: str) -> Response:
+    """Combine *candidates* (in evaluation order) into one :class:`Response`.
+
+    The single authoritative decision-assembly step: both the per-store
+    PDP below and the cross-shard scatter path of
+    :class:`~repro.xacml.sharding.ShardedPDP` build their responses here,
+    so the two can only diverge in candidate *selection*, never in how a
+    candidate list turns into a decision.
+    """
+    algorithm = PolicyCombiningAlgorithm.get(combining)
+    decision, policy = algorithm.combine(candidates, request)
+    if policy is None:
+        return Response(
+            Decision.NOT_APPLICABLE,
+            status_message="no applicable policy",
+        )
+    return Response(
+        decision,
+        obligations=policy.obligations_for(decision),
+        policy_id=policy.policy_id,
+    )
 
 
 class _CacheEntry:
@@ -140,6 +169,15 @@ class PolicyDecisionPoint:
             self._buckets.clear()
         self.cache_full_flushes += 1
 
+    def flush_cache(self) -> None:
+        """Drop every cached decision (counted as a full flush).
+
+        For callers that change decision-relevant state the store cannot
+        observe — e.g. switching the combining algorithm — and for
+        benchmarks that need cold caches between rounds.
+        """
+        self._flush()
+
     def _drop(self, key: tuple) -> None:
         """Remove one entry and unlink it from every bucket it is in."""
         entry = self._cache.pop(key, None)
@@ -215,18 +253,7 @@ class PolicyDecisionPoint:
         )
 
     def _decide(self, candidates, request: Request) -> Response:
-        algorithm = PolicyCombiningAlgorithm.get(self.combining)
-        decision, policy = algorithm.combine(candidates, request)
-        if policy is None:
-            return Response(
-                Decision.NOT_APPLICABLE,
-                status_message="no applicable policy",
-            )
-        return Response(
-            decision,
-            obligations=policy.obligations_for(decision),
-            policy_id=policy.policy_id,
-        )
+        return decide(candidates, request, self.combining)
 
     @property
     def cache_hit_rate(self) -> float:

@@ -1,0 +1,387 @@
+"""Sharded policy store and PDP with coherent cross-shard invalidation.
+
+One XACML+ instance evaluates requests as fast as the hardware allows
+(indexed candidate selection, decision caching); scaling past one
+instance means partitioning the policy population so independent
+instances each own a slice of the decision work.  This module provides
+the partitioned analogues of :class:`~repro.xacml.store.PolicyStore` and
+:class:`~repro.xacml.pdp.PolicyDecisionPoint` — the unsharded pair
+survives unchanged as the reference mode for differential testing
+(``PolicyDecisionPoint.reference()`` over a single store; the sharding
+equivalence harness in ``tests/properties`` pins the two bit-identical).
+
+**Partitioning.**  Policies are hash-partitioned by the literal
+resource-id values their target can match — the *candidate keys* the
+PR 1 target index extracts (``string-equal`` on the standard resource-id
+attribute).  A policy whose resource category is a wildcard or carries
+any non-indexable alternative (regex matches, non-standard attributes)
+over-approximates to *every* shard, exactly mirroring the index's
+wildcard-bucket fallback; a multi-literal target is placed on each
+literal's shard.  The hash is :func:`zlib.crc32` — stable across
+processes, unlike ``hash(str)``, so placement (and therefore benchmark
+shard balance) is reproducible.
+
+**Routing.**  The placement rule yields the routing invariant: every
+policy whose target could match a request lives on every shard any of
+the request's resource-id values hashes to.  A request with resource
+values hashing to a single shard — the overwhelmingly common shape, and
+the only one the PEP admits — is answered entirely by that shard's PDP
+(its index, its decision cache).  A request with no resource-id value
+can only match resource-wildcard policies, which are replicated
+everywhere, so any one shard (shard 0) answers it.  Requests spanning
+shards take the *scatter* path: candidates are gathered from each
+relevant shard, de-duplicated (wildcard replicas appear once per shard)
+and re-ordered by global load sequence, then combined through the same
+:func:`repro.xacml.pdp.decide` step as everything else.
+
+**Why single-shard routing is exact.**  Shard stores are loaded in
+global event order with their global sequence numbers pinned
+(:meth:`PolicyStore.load`'s ``sequence`` parameter), so a shard's
+candidate list is the global candidate list restricted to policies that
+can plausibly match the request — and the built-in combining algorithms
+ignore NotApplicable policies, the same argument that makes the PR 1
+target index sound.  Pinning matters on update: a new policy version
+whose resource keys move it onto a different shard arrives there as a
+shard-local *load* but keeps its original global position, matching the
+single store's update-in-place semantics.
+
+**Invalidation.**  Shard-local coherence is free: each shard is a full
+:class:`PolicyStore`, so its index and its PDP's per-policy decision
+cache react to the shard-local loaded/updated/removed events exactly as
+in the single-instance engine (a migrating update decomposes into
+``removed`` on shards the policy left, ``updated`` where it stayed and
+``loaded`` — a conservative full flush — where it arrived).  Cross-shard
+coherence flows through the :class:`InvalidationBus`: every logical
+store event is published exactly once (never once per replica) to
+subscribers that span shards — query-graph revocation, audit trails and
+the proxy handle cache (:meth:`repro.framework.proxy.Proxy` subscribes
+so revocation is purged end-to-end, not merely masked by revalidation).
+The bus exposes the same ``add_listener`` contract as ``PolicyStore``,
+so every existing store observer works unchanged against a sharded
+deployment.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import PolicyStoreError
+from repro.xacml.attributes import RESOURCE_ID, AttributeCategory
+from repro.xacml.index import _category_keys
+from repro.xacml.pdp import DEFAULT_CACHE_SIZE, PolicyDecisionPoint, decide
+from repro.xacml.policy import Policy
+from repro.xacml.request import Request
+from repro.xacml.response import Response
+from repro.xacml.store import ChangeListener, PolicyStore
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """The shard owning routing key *key* — stable across processes."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+class InvalidationBus:
+    """Fans logical policy-store events to cross-shard subscribers.
+
+    Presents the :class:`~repro.xacml.store.PolicyStore` listener
+    contract (``add_listener`` / ``remove_listener``, events in
+    {"loaded", "updated", "removed"}) over a sharded store: one publish
+    per *logical* event, after every shard replica has been brought up
+    to date, in subscription order.  Query-graph managers, audit trails
+    and proxy handle caches subscribe here exactly as they would to a
+    single store.
+    """
+
+    def __init__(self):
+        self._listeners: List[ChangeListener] = []
+        #: Logical events published (for monitoring and tests).
+        self.published = 0
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        """Unregister a listener; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    # PolicyStore-style aliases so bus-aware and store-aware code can
+    # subscribe through one name.
+    subscribe = add_listener
+    unsubscribe = remove_listener
+
+    def publish(self, event: str, policy: Policy) -> None:
+        self.published += 1
+        for listener in list(self._listeners):
+            listener(event, policy)
+
+
+class ShardedPolicyStore:
+    """N :class:`PolicyStore` shards behind one logical store facade.
+
+    Drop-in for the places a single store is observed or mutated —
+    ``load`` / ``update`` / ``remove`` / ``get`` / ``policies`` /
+    ``policies_for`` / ``add_listener`` all keep their single-store
+    signatures and semantics; listeners are served by the
+    :class:`InvalidationBus` (one event per logical mutation).  Each
+    shard store keeps its own PR 1 target index, so per-shard candidate
+    selection works exactly as in the single-instance engine.
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards <= 0:
+            raise PolicyStoreError(f"shard count must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self.shards: List[PolicyStore] = [PolicyStore() for _ in range(n_shards)]
+        self.bus = InvalidationBus()
+        #: Logical view: id → policy, in load order (updates keep position).
+        self._policies: Dict[str, Policy] = {}
+        #: policy id → shards holding a replica.
+        self._placement: Dict[str, FrozenSet[int]] = {}
+        #: policy id → global load sequence (updates keep the original).
+        self._sequence: Dict[str, int] = {}
+        self._next_sequence = 0
+        #: Policies currently replicated to every shard (wildcard /
+        #: non-indexable resource targets) — a balance health metric.
+        self.replicated = 0
+
+    # -- placement ---------------------------------------------------------------
+
+    def _shards_for_policy(self, policy: Policy) -> FrozenSet[int]:
+        """The shards that must hold *policy* (all, for wildcards)."""
+        keys = _category_keys(
+            policy.target.resources, AttributeCategory.RESOURCE, RESOURCE_ID
+        )
+        if keys is None:
+            return frozenset(range(self.n_shards))
+        return frozenset(shard_of(key, self.n_shards) for key in keys)
+
+    def shards_for_request(self, request: Request) -> Tuple[int, ...]:
+        """The shards whose policies could match *request*, ascending.
+
+        A request with no resource-id value can only match
+        resource-wildcard policies, which every shard replicates — any
+        single shard is authoritative, so shard 0 is returned.
+        """
+        values = request.values_of(AttributeCategory.RESOURCE, RESOURCE_ID)
+        if not values:
+            return (0,)
+        return tuple(
+            sorted({shard_of(str(value.value), self.n_shards) for value in values})
+        )
+
+    def placement_of(self, policy_id: str) -> FrozenSet[int]:
+        """The shards holding *policy_id* (empty frozenset if unknown)."""
+        return self._placement.get(policy_id, frozenset())
+
+    def sequence_of(self, policy_id: str) -> int:
+        """Global load-order position of *policy_id*."""
+        return self._sequence[policy_id]
+
+    # -- listeners ---------------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        self.bus.add_listener(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        self.bus.remove_listener(listener)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def load(self, policy: Policy) -> None:
+        """Load a new policy onto its owning shard(s)."""
+        if policy.policy_id in self._policies:
+            raise PolicyStoreError(f"policy {policy.policy_id!r} is already loaded")
+        shard_ids = self._shards_for_policy(policy)
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        for shard_id in sorted(shard_ids):
+            self.shards[shard_id].load(policy, sequence=sequence)
+        self._policies[policy.policy_id] = policy
+        self._placement[policy.policy_id] = shard_ids
+        self._sequence[policy.policy_id] = sequence
+        if len(shard_ids) == self.n_shards:
+            self.replicated += 1
+        self.bus.publish("loaded", policy)
+
+    def update(self, policy: Policy) -> None:
+        """Replace a loaded policy, migrating replicas as its keys move.
+
+        Decomposes into shard-local events — ``updated`` on shards in
+        both placements, ``removed`` where the new version no longer
+        belongs, ``loaded`` (with the original global sequence pinned)
+        where it newly belongs — then publishes one logical ``updated``.
+        """
+        if policy.policy_id not in self._policies:
+            raise PolicyStoreError(f"policy {policy.policy_id!r} is not loaded")
+        old_shards = self._placement[policy.policy_id]
+        new_shards = self._shards_for_policy(policy)
+        sequence = self._sequence[policy.policy_id]
+        for shard_id in sorted(old_shards - new_shards):
+            self.shards[shard_id].remove(policy.policy_id)
+        for shard_id in sorted(old_shards & new_shards):
+            self.shards[shard_id].update(policy)
+        for shard_id in sorted(new_shards - old_shards):
+            self.shards[shard_id].load(policy, sequence=sequence)
+        self._policies[policy.policy_id] = policy
+        self._placement[policy.policy_id] = new_shards
+        if len(old_shards) == self.n_shards and len(new_shards) < self.n_shards:
+            self.replicated -= 1
+        elif len(old_shards) < self.n_shards and len(new_shards) == self.n_shards:
+            self.replicated += 1
+        self.bus.publish("updated", policy)
+
+    def remove(self, policy_id: str) -> Policy:
+        if policy_id not in self._policies:
+            raise PolicyStoreError(f"policy {policy_id!r} is not loaded")
+        shard_ids = self._placement.pop(policy_id)
+        for shard_id in sorted(shard_ids):
+            self.shards[shard_id].remove(policy_id)
+        policy = self._policies.pop(policy_id)
+        self._sequence.pop(policy_id, None)
+        if len(shard_ids) == self.n_shards:
+            self.replicated -= 1
+        self.bus.publish("removed", policy)
+        return policy
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, policy_id: str) -> Optional[Policy]:
+        return self._policies.get(policy_id)
+
+    def policies(self) -> List[Policy]:
+        """All loaded policies, in global load order."""
+        return list(self._policies.values())
+
+    def policies_for(self, request: Request) -> List[Policy]:
+        """Plausibly applicable policies, in global load order.
+
+        Gathers each relevant shard's indexed candidates, de-duplicates
+        replicas and restores global order — the scatter-path analogue
+        of :meth:`PolicyStore.policies_for`.
+        """
+        shard_ids = self.shards_for_request(request)
+        if len(shard_ids) == 1:
+            return self.shards[shard_ids[0]].policies_for(request)
+        merged: Dict[str, Policy] = {}
+        for shard_id in shard_ids:
+            for policy in self.shards[shard_id].policies_for(request):
+                merged.setdefault(policy.policy_id, policy)
+        sequence = self._sequence
+        return sorted(merged.values(), key=lambda p: sequence[p.policy_id])
+
+    def stats(self) -> Dict[str, object]:
+        """Placement balance and bus counters, for monitoring and tests."""
+        return {
+            "n_shards": self.n_shards,
+            "policies": len(self._policies),
+            "replicated": self.replicated,
+            "per_shard": [len(shard) for shard in self.shards],
+            "events_published": self.bus.published,
+        }
+
+    def __contains__(self, policy_id: str) -> bool:
+        return policy_id in self._policies
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPolicyStore(shards={self.n_shards}, "
+            f"policies={len(self._policies)}, replicated={self.replicated})"
+        )
+
+
+class ShardedPDP:
+    """Routes each request to the owning shard's PDP.
+
+    Every shard runs a full fast-path :class:`PolicyDecisionPoint`
+    (target index + per-policy-invalidated decision cache) over its
+    shard store; shard-spanning requests fall back to a scatter
+    evaluation over the merged, globally-ordered candidate list through
+    the shared :func:`repro.xacml.pdp.decide` step.  Decision- and
+    obligation-identical to a single ``PolicyDecisionPoint`` over the
+    same policy population for the built-in combining algorithms (the
+    property harness proves it across shard counts and interleaved
+    mutations); a single-store ``PolicyDecisionPoint.reference()``
+    remains the reference mode.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ShardedPolicyStore] = None,
+        combining: str = "first-applicable",
+        n_shards: int = 4,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
+        self.store = store if store is not None else ShardedPolicyStore(n_shards)
+        self._combining = combining
+        self.shard_pdps: List[PolicyDecisionPoint] = [
+            PolicyDecisionPoint(shard, combining, use_index=True, cache_size=cache_size)
+            for shard in self.store.shards
+        ]
+        #: Requests answered by a single shard's PDP.
+        self.routed_evaluations = 0
+        #: Requests that had to gather candidates across shards.
+        self.scatter_evaluations = 0
+
+    @property
+    def n_shards(self) -> int:
+        return self.store.n_shards
+
+    @property
+    def combining(self) -> str:
+        return self._combining
+
+    @combining.setter
+    def combining(self, name: str) -> None:
+        # Cached decisions are keyed by request fingerprint only, so a
+        # combining change must drop them on every shard.
+        self._combining = name
+        for pdp in self.shard_pdps:
+            pdp.combining = name
+            pdp.flush_cache()
+
+    def evaluate(self, request: Request) -> Response:
+        shard_ids = self.store.shards_for_request(request)
+        if len(shard_ids) == 1:
+            self.routed_evaluations += 1
+            return self.shard_pdps[shard_ids[0]].evaluate(request)
+        self.scatter_evaluations += 1
+        return decide(self.store.policies_for(request), request, self._combining)
+
+    @property
+    def evaluations(self) -> int:
+        """Requests evaluated (routed + scattered), mirroring the PDP counter."""
+        return self.routed_evaluations + self.scatter_evaluations
+
+    def detach(self) -> None:
+        """Unregister every shard PDP from its store and drop its cache."""
+        for pdp in self.shard_pdps:
+            pdp.detach()
+
+    def cache_stats(self) -> dict:
+        """Aggregated shard-cache counters plus routing split."""
+        totals = {
+            "entries": 0, "hits": 0, "misses": 0, "invalidations": 0,
+            "full_flushes": 0, "targeted_evictions": 0,
+        }
+        for pdp in self.shard_pdps:
+            stats = pdp.cache_stats()
+            for key in totals:
+                totals[key] += stats[key]
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        totals["routed"] = self.routed_evaluations
+        totals["scattered"] = self.scatter_evaluations
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPDP(shards={self.n_shards}, "
+            f"policies={len(self.store)}, combining={self._combining!r})"
+        )

@@ -11,6 +11,11 @@ mechanism (the store registers its own listener first, so the index is
 already consistent when external listeners — cache invalidation, graph
 revocation — observe an event).  :meth:`policies_for` uses it to return
 only the plausibly applicable policies for a request, in load order.
+
+A sharded deployment (:mod:`repro.xacml.sharding`) composes N of these
+stores behind one facade; the single store remains the reference mode
+its differential harness compares against, which is why :meth:`load`
+accepts an explicit sequence pin.
 """
 
 from __future__ import annotations
@@ -55,8 +60,6 @@ class PolicyStore:
 
     def _maintain_index(self, event: str, policy: Policy) -> None:
         if event == "loaded":
-            self._sequence[policy.policy_id] = self._next_sequence
-            self._next_sequence += 1
             self._index.add(policy)
         elif event == "updated":
             self._index.replace(policy)
@@ -68,11 +71,23 @@ class PolicyStore:
         for listener in list(self._listeners):
             listener(event, policy)
 
-    def load(self, policy: Policy) -> None:
-        """Load a new policy; duplicate ids are rejected (use update)."""
+    def load(self, policy: Policy, sequence: Optional[int] = None) -> None:
+        """Load a new policy; duplicate ids are rejected (use update).
+
+        *sequence* pins the policy's evaluation-order position instead of
+        appending it.  A sharded deployment uses this so a policy whose
+        new version migrates it onto a different shard keeps its global
+        load-order position there (``update`` preserves position in a
+        single store, and the shard-local candidate order must stay a
+        subsequence of the global one for decision equivalence).
+        """
         if policy.policy_id in self._policies:
             raise PolicyStoreError(f"policy {policy.policy_id!r} is already loaded")
         self._policies[policy.policy_id] = policy
+        if sequence is None:
+            sequence = self._next_sequence
+        self._sequence[policy.policy_id] = sequence
+        self._next_sequence = max(self._next_sequence, sequence + 1)
         self._notify("loaded", policy)
 
     def update(self, policy: Policy) -> None:

@@ -1,0 +1,307 @@
+"""Differential tests: ShardedPDP ≡ reference single-store PDP.
+
+The sharded engine (`repro.xacml.sharding`) hash-partitions policies by
+their target's literal resource-id keys, replicates wildcard /
+non-indexable targets to every shard, routes each request to the owning
+shard's PDP (scattering across shards when a request's resource values
+span several) and fans invalidation through a bus.  All of that must be
+*decision- and obligation-identical* to one
+``PolicyDecisionPoint.reference()`` over a single store — across shard
+counts {1, 2, 8}, every built-in combining algorithm, and interleaved
+load/update/remove mutations, with equivalence re-checked after every
+single mutation so cache-invalidation interleavings are covered.
+
+Policy/request strategies are shared with the PR 1 harness
+(``test_prop_pdp_equivalence``); this module widens the request shapes
+with multi-valued resources (the scatter path) and resource-less
+requests (the wildcard-only route).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from test_prop_pdp_equivalence import (
+    ACTIONS,
+    COMBINING,
+    RESOURCES,
+    SUBJECTS,
+    build_policy,
+    mutations,
+    policy_specs,
+)
+
+from repro.errors import PolicyStoreError
+from repro.xacml.attributes import (
+    RESOURCE_ID,
+    Attribute,
+    AttributeCategory,
+    AttributeValue,
+)
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.request import Request
+from repro.xacml.response import Effect
+from repro.xacml.sharding import ShardedPDP, ShardedPolicyStore, shard_of
+from repro.xacml.store import PolicyStore
+
+SHARD_COUNTS = (1, 2, 8)
+
+
+def make_sharded_pair(n_shards, combining="first-applicable", cache_size=8):
+    """A sharded PDP and a single-store reference PDP.
+
+    Unlike the PR 1 harness the two sides cannot share a store, so
+    ``apply`` mirrors every mutation into both.
+    """
+    sharded_store = ShardedPolicyStore(n_shards)
+    sharded = ShardedPDP(sharded_store, combining, cache_size=cache_size)
+    reference_store = PolicyStore()
+    reference = PolicyDecisionPoint.reference(reference_store, combining)
+
+    def apply(kind, *args):
+        getattr(sharded_store, kind)(*args)
+        getattr(reference_store, kind)(*args)
+
+    return sharded, reference, apply
+
+
+def assert_equivalent(sharded, reference, request):
+    expected = reference.evaluate(request)
+    actual = sharded.evaluate(request)
+    assert actual.decision is expected.decision
+    assert actual.policy_id == expected.policy_id
+    assert actual.obligations == expected.obligations
+    assert actual.status_message == expected.status_message
+
+
+# -- request shapes ----------------------------------------------------------------
+#
+# The base shape plus the two routing edge cases the single-store engine
+# never distinguishes: several resource-id values (may span shards →
+# scatter path) and no resource-id at all (wildcard-only → shard 0).
+
+@st.composite
+def sharding_requests(draw):
+    shape = draw(st.sampled_from(("simple", "multi-resource", "no-resource")))
+    if shape == "no-resource":
+        request = Request()
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT,
+                "urn:oasis:names:tc:xacml:1.0:subject:subject-id",
+                AttributeValue.string(draw(st.sampled_from(SUBJECTS))),
+            )
+        )
+        return request
+    request = Request.simple(
+        draw(st.sampled_from(SUBJECTS + ("eve",))),
+        draw(st.sampled_from(RESOURCES + ("other",))),
+        draw(st.sampled_from(ACTIONS)),
+        environment={"clearance": draw(st.integers(min_value=0, max_value=5))},
+    )
+    if shape == "multi-resource":
+        request.add(
+            Attribute(
+                AttributeCategory.RESOURCE,
+                RESOURCE_ID,
+                AttributeValue.string(draw(st.sampled_from(RESOURCES))),
+            )
+        )
+    return request
+
+
+class TestShardingEquivalence:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        specs=st.lists(policy_specs, min_size=0, max_size=8),
+        request_list=st.lists(sharding_requests(), min_size=1, max_size=6),
+        combining=st.sampled_from(COMBINING),
+        ops=mutations,
+    )
+    def test_sharded_pdp_matches_reference(
+        self, n_shards, specs, request_list, combining, ops
+    ):
+        sharded, reference, apply = make_sharded_pair(n_shards, combining)
+        for i, spec in enumerate(specs):
+            apply("load", build_policy(f"p{i}", spec))
+
+        # Twice, so the second pass is served from shard decision caches.
+        for request in request_list + request_list:
+            assert_equivalent(sharded, reference, request)
+
+        # Interleaved mutations: equivalence must hold after *every*
+        # store event, not just at the end — this is what pins the
+        # shard-cache invalidation and replica-migration interleavings.
+        next_id = len(specs)
+        for kind, index, spec in ops:
+            loaded = [p.policy_id for p in reference.store.policies()]
+            if kind == "load":
+                apply("load", build_policy(f"p{next_id}", spec))
+                next_id += 1
+            elif not loaded:
+                continue
+            elif kind == "update":
+                apply("update", build_policy(loaded[index % len(loaded)], spec))
+            else:
+                apply("remove", loaded[index % len(loaded)])
+            for request in request_list + request_list:
+                assert_equivalent(sharded, reference, request)
+
+
+# -- deterministic pins over the sharding mechanics --------------------------------
+
+def permit_policy(policy_id, resource=None, subject=None, regex_resource=None):
+    """A single-PERMIT policy targeting *resource* (or a regex, or any)."""
+    target = Target.for_ids(subject=subject, resource=resource)
+    if regex_resource is not None:
+        from repro.xacml.functions import STRING_REGEXP_MATCH
+        from repro.xacml.policy import Match
+
+        target.resources = [[
+            Match(
+                AttributeCategory.RESOURCE,
+                RESOURCE_ID,
+                AttributeValue.string(regex_resource),
+                function_id=STRING_REGEXP_MATCH,
+            )
+        ]]
+    return Policy(policy_id, target=target, rules=[Rule(f"{policy_id}:r", Effect.PERMIT)])
+
+
+def distinct_shard_resources(n_shards, count):
+    """Resource names hashing to *count* pairwise distinct shards."""
+    chosen, seen = [], set()
+    i = 0
+    while len(chosen) < count:
+        name = f"res{i}"
+        shard = shard_of(name, n_shards)
+        if shard not in seen:
+            seen.add(shard)
+            chosen.append(name)
+        i += 1
+    return chosen
+
+
+class TestShardingMechanics:
+    def test_literal_targets_placed_by_hash_and_wildcards_replicated(self):
+        store = ShardedPolicyStore(4)
+        store.load(permit_policy("lit", resource="weather0"))
+        store.load(permit_policy("any"))                       # any-resource
+        store.load(permit_policy("rex", regex_resource="we.*"))  # non-indexable
+        assert store.placement_of("lit") == frozenset({shard_of("weather0", 4)})
+        assert store.placement_of("any") == frozenset(range(4))
+        assert store.placement_of("rex") == frozenset(range(4))
+        assert store.replicated == 2
+        stats = store.stats()
+        assert stats["per_shard"][shard_of("weather0", 4)] == 3
+        assert sorted(p.policy_id for p in store.policies()) == ["any", "lit", "rex"]
+
+    def test_one_logical_event_per_mutation_despite_replication(self):
+        store = ShardedPolicyStore(8)
+        events = []
+        store.add_listener(lambda event, policy: events.append((event, policy.policy_id)))
+        store.load(permit_policy("w"))            # replicated to all 8 shards
+        store.update(permit_policy("w", resource="res0"))  # shrinks to 1 shard
+        store.remove("w")
+        assert events == [("loaded", "w"), ("updated", "w"), ("removed", "w")]
+        assert store.bus.published == 3
+
+    def test_update_migration_preserves_first_applicable_order(self):
+        # p0 loads before p1, both end up on the same shard — but p0 gets
+        # there *last*, via update-migration through a different shard.
+        # The pinned global sequence must keep p0 first-applicable.
+        n_shards = 4
+        res_a, res_b = distinct_shard_resources(n_shards, 2)
+        sharded, reference, apply = make_sharded_pair(n_shards)
+        apply("load", permit_policy("p0", resource=res_a))
+        apply("load", permit_policy("p1", resource=res_a))
+        apply("update", permit_policy("p0", resource=res_b))   # migrate away
+        apply("update", permit_policy("p0", resource=res_a))   # migrate back
+        request = Request.simple("alice", res_a)
+        assert_equivalent(sharded, reference, request)
+        assert sharded.evaluate(request).policy_id == "p0"
+
+    def test_multi_resource_request_takes_scatter_path(self):
+        n_shards = 4
+        res_a, res_b = distinct_shard_resources(n_shards, 2)
+        sharded, reference, apply = make_sharded_pair(n_shards)
+        apply("load", permit_policy("pa", resource=res_a))
+        apply("load", permit_policy("pb", resource=res_b))
+        request = Request.simple("alice", res_a)
+        request.add(
+            Attribute(AttributeCategory.RESOURCE, RESOURCE_ID, AttributeValue.string(res_b))
+        )
+        assert len(sharded.store.shards_for_request(request)) == 2
+        assert_equivalent(sharded, reference, request)
+        assert sharded.scatter_evaluations == 1
+        # Scatter candidates are de-duplicated and globally ordered.
+        candidates = sharded.store.policies_for(request)
+        assert [p.policy_id for p in candidates] == ["pa", "pb"]
+
+    def test_no_resource_request_routes_to_shard_zero(self):
+        sharded, reference, apply = make_sharded_pair(8)
+        apply("load", permit_policy("lit", resource="res1"))
+        apply("load", permit_policy("any"))
+        request = Request()
+        request.add(
+            Attribute(
+                AttributeCategory.SUBJECT,
+                "urn:oasis:names:tc:xacml:1.0:subject:subject-id",
+                AttributeValue.string("alice"),
+            )
+        )
+        assert sharded.store.shards_for_request(request) == (0,)
+        assert_equivalent(sharded, reference, request)
+        assert sharded.evaluate(request).policy_id == "any"
+
+    def test_cross_shard_cache_invalidation_on_update_and_remove(self):
+        n_shards = 4
+        res_a, res_b = distinct_shard_resources(n_shards, 2)
+        sharded, reference, apply = make_sharded_pair(n_shards, cache_size=32)
+        apply("load", permit_policy("pa", resource=res_a, subject="alice"))
+        apply("load", permit_policy("pb", resource=res_b))
+        request_a = Request.simple("alice", res_a)
+        request_b = Request.simple("alice", res_b)
+        for request in (request_a, request_b, request_a, request_b):
+            assert_equivalent(sharded, reference, request)
+        assert sharded.cache_stats()["hits"] == 2
+        # Re-targeting pa to res_b must flip request_a to NotApplicable
+        # (replica leaves res_a's shard) and request_b to pa (arrives on
+        # res_b's shard *before* pb in global order) — both served
+        # correctly straight after the mutation, not from stale cache.
+        apply("update", permit_policy("pa", resource=res_b, subject="alice"))
+        assert_equivalent(sharded, reference, request_a)
+        assert_equivalent(sharded, reference, request_b)
+        assert sharded.evaluate(request_b).policy_id == "pa"
+        apply("remove", "pa")
+        assert_equivalent(sharded, reference, request_b)
+        assert sharded.evaluate(request_b).policy_id == "pb"
+
+    def test_combining_change_flushes_shard_caches(self):
+        sharded, reference, apply = make_sharded_pair(2, cache_size=32)
+        apply("load", permit_policy("pp", resource="res0"))
+        deny = Policy(
+            "pd",
+            target=Target.for_ids(resource="res0"),
+            rules=[Rule("pd:r", Effect.DENY)],
+        )
+        apply("load", deny)
+        request = Request.simple("alice", "res0")
+        assert_equivalent(sharded, reference, request)  # first-applicable → permit
+        sharded.combining = "deny-overrides"
+        reference.combining = "deny-overrides"
+        assert_equivalent(sharded, reference, request)
+        assert sharded.evaluate(request).policy_id == "pd"
+
+    def test_store_facade_rejects_duplicates_and_unknown(self):
+        store = ShardedPolicyStore(2)
+        store.load(permit_policy("p", resource="res0"))
+        with pytest.raises(PolicyStoreError):
+            store.load(permit_policy("p", resource="res0"))
+        with pytest.raises(PolicyStoreError):
+            store.update(permit_policy("q", resource="res0"))
+        with pytest.raises(PolicyStoreError):
+            store.remove("q")
+        assert "p" in store and len(store) == 1
+        assert store.get("p").policy_id == "p"

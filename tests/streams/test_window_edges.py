@@ -1,0 +1,177 @@
+"""Regression pins for the PR 3 columnar-window edge cases.
+
+The property/differential harnesses (``test_prop_window_equivalence``,
+the StreamSQL fuzzer) cover these paths statistically; this module pins
+them *directly at the operator level*, so a regression names the exact
+mechanism instead of a shrunk counterexample:
+
+- the out-of-order time-window path: the columnar instance must drop
+  from pointer eviction into the seed-semantics scan fallback on the
+  first timestamp regression — including mid-stream, including across
+  the amortized-compaction threshold — and stay output-identical to the
+  reference row path;
+- empty and singleton batch partitions: ``process_batch`` on the real
+  batch path must tolerate degenerate partitions without corrupting
+  window state, and any partitioning must emit exactly the same tuples
+  as one monolithic batch and as the reference path.
+"""
+
+import pytest
+
+from repro.streams.operators.window import (
+    AggregateOperator,
+    AggregationSpec,
+    WindowSpec,
+    WindowType,
+    _ColumnarTimeWindow,
+)
+from repro.streams.schema import DataType, Field, Schema
+from repro.streams.tuples import make_tuple
+
+SCHEMA = Schema(
+    "sensor",
+    [Field("ts", DataType.TIMESTAMP), Field("v", DataType.DOUBLE)],
+)
+
+AGGREGATIONS = ("v:sum", "v:min", "v:max", "v:count", "v:lastval")
+
+
+def make_operator(window_type, size, step, use_compiled):
+    return AggregateOperator(
+        WindowSpec(window_type, size, step),
+        [AggregationSpec.parse(text) for text in AGGREGATIONS],
+        use_compiled=use_compiled,
+    )
+
+
+def tuples_of(points):
+    return [make_tuple(SCHEMA, {"ts": float(ts), "v": float(v)}) for ts, v in points]
+
+
+def run_batches(operator, batches):
+    output_schema = operator.output_schema(SCHEMA)
+    emitted = []
+    for batch in batches:
+        emitted.extend(operator.process_batch(batch, output_schema))
+    return [t.values for t in emitted]
+
+
+def partitions(items, sizes):
+    """Split *items* into consecutive chunks of the given *sizes*."""
+    chunks, cursor = [], 0
+    for size in sizes:
+        chunks.append(items[cursor:cursor + size])
+        cursor += size
+    assert cursor == len(items), "partition sizes must cover the input"
+    return chunks
+
+
+class TestOutOfOrderTimeWindows:
+    OOO_POINTS = [
+        (0.0, 1.0), (1.0, 2.0), (2.0, 3.0),
+        (1.5, 4.0),              # regression: drops into scan mode
+        (3.0, 5.0), (2.5, 6.0), (6.0, 7.0), (5.0, 8.0), (9.0, 9.0),
+    ]
+
+    def test_first_regression_switches_to_scan_mode(self):
+        operator = make_operator(WindowType.TIME, 2, 2, use_compiled=True)
+        output_schema = operator.output_schema(SCHEMA)
+        operator.process_batch(tuples_of(self.OOO_POINTS[:3]), output_schema)
+        state = operator._columnar
+        assert isinstance(state, _ColumnarTimeWindow) and state.monotonic
+        operator.process_batch(tuples_of(self.OOO_POINTS[3:4]), output_schema)
+        assert not state.monotonic
+
+    @pytest.mark.parametrize("size,step", [(2, 2), (3, 1), (1, 3)])
+    def test_scan_fallback_matches_reference(self, size, step):
+        compiled = make_operator(WindowType.TIME, size, step, use_compiled=True)
+        reference = make_operator(WindowType.TIME, size, step, use_compiled=False)
+        stream = tuples_of(self.OOO_POINTS)
+        got = run_batches(compiled, [stream])
+        expected = run_batches(reference, [[t] for t in stream])
+        assert got == expected
+        assert got, "edge-case stream must actually emit windows"
+        assert not compiled._columnar.monotonic
+
+    def test_scan_mode_survives_compaction_threshold(self):
+        # > 64 retained entries forces the amortized compaction sweep;
+        # stale-entry removal must stay output-neutral.
+        points = []
+        ts = 0.0
+        for i in range(300):
+            ts += 0.5
+            points.append((ts, float(i)))
+            if i % 7 == 3:
+                points.append((ts - 0.25, float(-i)))  # persistent disorder
+        compiled = make_operator(WindowType.TIME, 4, 2, use_compiled=True)
+        reference = make_operator(WindowType.TIME, 4, 2, use_compiled=False)
+        stream = tuples_of(points)
+        got = run_batches(compiled, partitions(stream, [50] * 7 + [len(stream) - 350]))
+        expected = run_batches(reference, [[t] for t in stream])
+        assert got == expected
+        state = compiled._columnar
+        assert not state.monotonic
+        # The compaction threshold moved off its initial value and the
+        # buffer did not grow with the whole stream.
+        assert len(state.ts) < len(points)
+
+    def test_regression_inside_one_batch_is_detected(self):
+        # The disorder check walks timestamps *within* a batch, not just
+        # across batch boundaries.
+        operator = make_operator(WindowType.TIME, 2, 2, use_compiled=True)
+        output_schema = operator.output_schema(SCHEMA)
+        operator.process_batch(
+            tuples_of([(0.0, 1.0), (3.0, 2.0), (1.0, 3.0), (4.0, 4.0)]),
+            output_schema,
+        )
+        assert not operator._columnar.monotonic
+
+
+class TestDegenerateBatchPartitions:
+    POINTS = [(float(i), float((i * 7) % 11)) for i in range(40)]
+
+    @pytest.mark.parametrize("window_type", [WindowType.TUPLE, WindowType.TIME])
+    @pytest.mark.parametrize("size,step", [(5, 2), (3, 3), (2, 5)])
+    def test_partitioning_is_output_invariant(self, window_type, size, step):
+        stream = tuples_of(self.POINTS)
+        reference = make_operator(window_type, size, step, use_compiled=False)
+        expected = run_batches(reference, [[t] for t in stream])
+
+        shapes = {
+            "monolithic": [len(stream)],
+            "singletons": [1] * len(stream),
+            "ragged": [0, 1, 0, 7, 1, 1, 13, 0, 17],
+        }
+        shapes["ragged"].append(len(stream) - sum(shapes["ragged"]))
+        for label, sizes in shapes.items():
+            compiled = make_operator(window_type, size, step, use_compiled=True)
+            got = run_batches(compiled, partitions(stream, sizes))
+            assert got == expected, f"partition shape {label!r} diverged"
+        assert expected, "workload must emit windows"
+
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    @pytest.mark.parametrize("window_type", [WindowType.TUPLE, WindowType.TIME])
+    def test_empty_batch_is_a_no_op(self, window_type, use_compiled):
+        operator = make_operator(window_type, 3, 1, use_compiled=use_compiled)
+        output_schema = operator.output_schema(SCHEMA)
+        stream = tuples_of(self.POINTS[:10])
+        emitted = []
+        assert operator.process_batch([], output_schema) == []
+        for tup in stream[:5]:
+            emitted.extend(operator.process_batch([tup], output_schema))
+            assert operator.process_batch([], output_schema) == []
+            assert operator.process_batch((), output_schema) == []
+        emitted.extend(operator.process_batch(stream[5:], output_schema))
+
+        reference = make_operator(window_type, 3, 1, use_compiled=use_compiled)
+        expected = run_batches(reference, [stream])
+        assert [t.values for t in emitted] == expected
+
+    def test_singleton_window_singleton_batches(self):
+        # size=1/step=1: every tuple is its own window, in every mode.
+        for use_compiled in (True, False):
+            operator = make_operator(WindowType.TUPLE, 1, 1, use_compiled=use_compiled)
+            stream = tuples_of(self.POINTS[:8])
+            got = run_batches(operator, [[t] for t in stream])
+            assert [row[4] for row in got] == [t["v"] for t in stream]  # lastval
+            assert [row[3] for row in got] == [1] * len(stream)          # count
