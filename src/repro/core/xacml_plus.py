@@ -8,8 +8,13 @@ needs on data streams".
 
 ``pdp_shards=N`` swaps the store/PDP pair for the sharded analogues of
 :mod:`repro.xacml.sharding` (N hash-partitioned shard stores, requests
-routed to the owning shard's PDP, one invalidation bus feeding graph
-revocation and every cross-shard observer).  The default single-store
+routed to the owning shard's PDP — scatter-cached with single-flight
+when they span shards — one invalidation bus feeding graph revocation
+and every cross-shard observer).  ``pdp_partitioner`` selects the
+placement strategy (``"resource"`` — the default — ``"subject"`` or
+``"composite"``, or a :class:`~repro.xacml.sharding.PartitionStrategy`
+instance), so subject-heavy policy populations can co-partition on
+subject keys and keep routing single-shard.  The default single-store
 wiring is unchanged and remains the reference mode the sharding
 differential harness compares against.
 """
@@ -45,6 +50,7 @@ class XacmlPlusInstance:
         pdp_use_index: bool = True,
         pdp_cache_size: Optional[int] = None,
         pdp_shards: Optional[int] = None,
+        pdp_partitioner=None,
     ):
         self.engine = engine if engine is not None else StreamEngine()
         cache_size = DEFAULT_CACHE_SIZE if pdp_cache_size is None else pdp_cache_size
@@ -66,9 +72,14 @@ class XacmlPlusInstance:
             # contract, so the graph manager, audit trails and proxies
             # subscribe to it exactly as to a single store (they observe
             # one logical event per mutation via the invalidation bus).
-            self.store = ShardedPolicyStore(pdp_shards)
+            self.store = ShardedPolicyStore(pdp_shards, partitioner=pdp_partitioner)
             self.pdp = ShardedPDP(self.store, cache_size=cache_size)
         else:
+            if pdp_partitioner is not None:
+                raise ValueError(
+                    "pdp_partitioner requires pdp_shards > 1 (the single-store "
+                    "instance has nothing to partition)"
+                )
             self.store = PolicyStore()
             self.pdp = PolicyDecisionPoint(
                 self.store,

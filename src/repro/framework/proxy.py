@@ -73,6 +73,7 @@ class Proxy:
     def process(self, message: StreamRequestMessage) -> ProxyResult:
         """Serve one client request, consulting the cache first."""
         key = message.cache_key()
+        probe_compute = 0.0
         if self.cache_enabled:
             cached = self._lookup(key)
             if cached is not None:
@@ -80,11 +81,11 @@ class Proxy:
                 # The handle must still be live; a withdrawn query must
                 # not be served from cache (revocation correctness).
                 live = self._handle_live(cached)
-                lookup_compute = time.perf_counter() - started
-                self.network.clock.advance(lookup_compute)
+                probe_compute = time.perf_counter() - started
+                self.network.clock.advance(probe_compute)
                 if live:
                     self.hits += 1
-                    timing = ServerTiming(0.0, lookup_compute, 0.0, lookup_compute)
+                    timing = ServerTiming(0.0, probe_compute, 0.0, probe_compute)
                     return ProxyResult(cached, timing, 0.0, True)
                 self._cache.pop(key, None)
         self.misses += 1
@@ -93,6 +94,16 @@ class Proxy:
         inbound = self.network.transfer("proxy-server", response.payload_bytes())
         if self.cache_enabled and response.ok:
             self._store(key, response)
+        if probe_compute:
+            # Dead-handle fall-through: the cache probe was charged to
+            # the clock exactly once above, so it must appear exactly
+            # once in the returned breakdown too — folded into the
+            # compute legs, not left to be mis-read as network time
+            # when callers reconstruct shares from ``total - compute``.
+            timing = timing._replace(
+                query_graph=timing.query_graph + probe_compute,
+                compute_total=timing.compute_total + probe_compute,
+            )
         return ProxyResult(response, timing, outbound + inbound, False)
 
     def invalidate(self) -> None:

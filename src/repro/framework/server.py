@@ -57,6 +57,7 @@ class DataServer:
         pdp_use_index: bool = True,
         pdp_cache_size: Optional[int] = None,
         pdp_shards: Optional[int] = None,
+        pdp_partitioner=None,
     ):
         self.network = network
         self.name = name
@@ -68,6 +69,7 @@ class DataServer:
             pdp_use_index=pdp_use_index,
             pdp_cache_size=pdp_cache_size,
             pdp_shards=pdp_shards,
+            pdp_partitioner=pdp_partitioner,
         )
         #: Count of requests processed (all outcomes).
         self.requests_processed = 0

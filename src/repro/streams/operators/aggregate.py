@@ -207,34 +207,73 @@ class _WelfordState(AggregateState):
     """Welford running mean/M2, with the reverse update for eviction.
 
     Insertion is the textbook single-pass recurrence; eviction inverts
-    it (solve the recurrence for the state without *value*).  M2 is
-    clamped at zero in :meth:`result` — reverse updates can leave a
-    tiny negative residue when the window variance collapses.
+    it (solve the recurrence for the state without *value*).  Reverse
+    updates can leave a tiny M2 residue — of either sign — when the
+    window variance collapses, so the variance is clamped at zero *in
+    the state*: a negative residue is zeroed eagerly on eviction (not
+    merely masked in :meth:`result`, where it would still poison later
+    updates), and a window whose held values are provably all equal
+    snaps mean/M2 back to the exact ``(value, 0.0)`` state.
+
+    Constancy is detected in O(1) through the *suffix run*: the length
+    of the newest streak of identical values.  FIFO eviction only ever
+    removes the oldest element, so the suffix run is invariant under
+    eviction (capped at ``n``), and ``run == n`` is exactly "every held
+    value is equal" — the window where a fresh recomputation answers
+    0.0 and the incremental state historically answered ~1e-7 garbage
+    (the drift the PR 4 fuzzer caught).  With the snap-back, constant
+    windows are bit-exact and the fuzzer tolerance for them is exact
+    too.
     """
 
-    __slots__ = ("n", "mean", "m2")
+    __slots__ = ("n", "mean", "m2", "_run_value", "_run_length")
 
     def __init__(self):
         self.n = 0
         self.mean = 0.0
         self.m2 = 0.0
+        self._run_value = None
+        self._run_length = 0
 
     def insert(self, value) -> None:
         self.n += 1
+        if self._run_length and value == self._run_value:
+            self._run_length += 1
+        else:
+            self._run_value = value
+            self._run_length = 1
+        if self._run_length >= self.n:
+            # Every held value equals *value*: the exact state.
+            self.mean = value
+            self.m2 = 0.0
+            return
         delta = value - self.mean
         self.mean += delta / self.n
         self.m2 += delta * (value - self.mean)
 
     def evict(self, value) -> None:
         self.n -= 1
+        if self._run_length > self.n:
+            self._run_length = self.n
         if self.n == 0:
             self.mean = 0.0
+            self.m2 = 0.0
+            self._run_value = None
+            self._run_length = 0
+            return
+        if self._run_length >= self.n:
+            # The surviving values are all the suffix-run value.
+            self.mean = self._run_value
             self.m2 = 0.0
             return
         delta = value - self.mean
         mean = self.mean - delta / self.n
         self.m2 -= (value - mean) * delta
         self.mean = mean
+        if self.m2 < 0.0:
+            # Variance cannot be negative; zero the rounding residue now
+            # so it cannot compound through later reverse updates.
+            self.m2 = 0.0
 
     def result(self):
         if self.n <= 1:

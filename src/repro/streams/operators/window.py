@@ -507,6 +507,16 @@ class _ColumnarTimeWindow(_ColumnarWindow):
     seed semantics exactly (membership by value, arrival order
     preserved), with amortized compaction instead of the seed's
     per-tuple rebuild.
+
+    Scan mode is not sticky: whenever a compaction sweep leaves the
+    retained buffer in ascending timestamp order (in particular when it
+    drains the disordered backlog entirely), the instance re-arms the
+    monotonic pointer path — on a sorted buffer, value-based membership
+    and contiguous pointer slices select identical windows, so the
+    switch is output-neutral, and the next late timestamp simply drops
+    back to scan mode.  A transient burst of disorder therefore costs
+    O(buffer) scans only while its evidence is still buffered, instead
+    of pinning the stream to scan mode forever.
     """
 
     __slots__ = (
@@ -604,6 +614,7 @@ class _ColumnarTimeWindow(_ColumnarWindow):
         cols = self.cols
         positions = self.positions
         outputs: List[StreamTuple] = []
+        compacted = False
         for row, timestamp in zip(rows, new_ts):
             if self.t0 is None:
                 self.t0 = timestamp
@@ -637,8 +648,34 @@ class _ColumnarTimeWindow(_ColumnarWindow):
                     ts_buffer[:] = [ts_buffer[index] for index in keep]
                     for col in cols:
                         col[:] = [col[index] for index in keep]
+                    compacted = True
                 self.compact_at = max(64, 2 * len(ts_buffer))
+        # Re-arm the pointer path once the disordered backlog is gone:
+        # only checked after a sweep actually removed entries (amortized,
+        # like the sweep itself), and only after the whole batch so the
+        # two modes never interleave within one dispatch.
+        if compacted and self._is_ascending(ts_buffer):
+            self._rearm()
         return outputs
+
+    @staticmethod
+    def _is_ascending(values: Sequence) -> bool:
+        return all(earlier <= later for earlier, later in zip(values, values[1:]))
+
+    def _rearm(self) -> None:
+        """Return to the monotonic pointer path on a sorted buffer.
+
+        The retained entries all sit at or after the next window's start
+        (compaction just enforced that), so "first still-needed entry"
+        is index 0; the high pointer recomputes forward from there on
+        the next window close.  ``last_ts`` re-seeds the disorder
+        detector, so a later regression drops straight back to scan.
+        """
+        self.monotonic = True
+        self.base = 0
+        self.low = 0
+        self.high = 0
+        self.last_ts = self.ts[-1] if self.ts else None
 
     def _emit_slice(self, low: int, high: int, output_schema: Schema) -> StreamTuple:
         values = [

@@ -21,8 +21,18 @@ from repro.xacml.policy import Condition, Match, Policy, Rule, Target
 from repro.xacml.policyset import PolicySet
 from repro.xacml.combining import RuleCombiningAlgorithm, PolicyCombiningAlgorithm
 from repro.xacml.index import PolicyIndex
-from repro.xacml.pdp import PolicyDecisionPoint
-from repro.xacml.sharding import InvalidationBus, ShardedPDP, ShardedPolicyStore
+from repro.xacml.pdp import DecisionCache, PolicyDecisionPoint
+from repro.xacml.sharding import (
+    CompositeKeyPartitioner,
+    InvalidationBus,
+    PartitionStrategy,
+    ProcessShardPool,
+    ResourceKeyPartitioner,
+    ScatterEvaluator,
+    ShardedPDP,
+    ShardedPolicyStore,
+    SubjectKeyPartitioner,
+)
 from repro.xacml.store import PolicyStore
 from repro.xacml.xml_io import (
     parse_policy_xml,
@@ -47,12 +57,19 @@ __all__ = [
     "Target",
     "RuleCombiningAlgorithm",
     "PolicyCombiningAlgorithm",
+    "CompositeKeyPartitioner",
+    "DecisionCache",
     "InvalidationBus",
+    "PartitionStrategy",
     "PolicyDecisionPoint",
     "PolicyIndex",
     "PolicyStore",
+    "ProcessShardPool",
+    "ResourceKeyPartitioner",
+    "ScatterEvaluator",
     "ShardedPDP",
     "ShardedPolicyStore",
+    "SubjectKeyPartitioner",
     "parse_policy_xml",
     "parse_request_xml",
     "policy_to_xml",

@@ -95,6 +95,140 @@ class _CacheEntry:
         self.candidate_ids = candidate_ids
 
 
+class DecisionCache:
+    """An LRU of request fingerprints → full responses, invalidated per
+    policy through store events.
+
+    The caching machinery the module docstring describes, factored out of
+    the PDP so every decision-caching tier shares one implementation: the
+    per-store PDP below and the cross-shard *scatter* cache of
+    :class:`~repro.xacml.sharding.ShardedPDP` (which feeds it bus events
+    instead of store events — same contract, same soundness argument).
+    Callers own thread-safety: the PDP runs it single-threaded, the
+    scatter path serialises access behind its single-flight lock.
+    """
+
+    __slots__ = (
+        "capacity", "hits", "misses", "invalidations", "full_flushes",
+        "targeted_evictions", "entries", "buckets",
+    )
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        #: Store events that invalidated cache state (any kind).
+        self.invalidations = 0
+        #: Events that flushed the whole cache (loads).
+        self.full_flushes = 0
+        #: Entries evicted by targeted (per-policy) invalidation.
+        self.targeted_evictions = 0
+        self.entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        #: policy id → cache keys of the entries that considered it.
+        self.buckets: Dict[str, Set[tuple]] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: tuple) -> Optional[Response]:
+        """The cached response for *key*, refreshed to most-recent, or None."""
+        entry = self.entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return entry.response
+
+    def put(
+        self,
+        key: tuple,
+        response: Response,
+        request: Request,
+        candidate_ids: FrozenSet[str],
+    ) -> None:
+        """Insert a decision, bucket it by candidate ids, trim to capacity."""
+        self.entries[key] = _CacheEntry(response, request, candidate_ids)
+        for policy_id in candidate_ids:
+            self.buckets.setdefault(policy_id, set()).add(key)
+        while len(self.entries) > self.capacity:
+            self.drop(next(iter(self.entries)))
+
+    def on_store_event(self, event: str, policy) -> None:
+        """React to one ``loaded``/``updated``/``removed`` event."""
+        self.invalidations += 1
+        if event == "removed":
+            self.evict_bucket(policy.policy_id)
+        elif event == "updated":
+            self.evict_bucket(policy.policy_id)
+            self.evict_newly_matching(policy)
+        else:
+            # "loaded" (and any unknown event, conservatively): a new
+            # policy can change any decision — NotApplicable may become
+            # Permit — and it has no bucket yet, so flush wholesale.
+            self.flush()
+
+    def flush(self) -> None:
+        if self.entries:
+            self.entries.clear()
+            self.buckets.clear()
+        self.full_flushes += 1
+
+    def drop(self, key: tuple) -> None:
+        """Remove one entry and unlink it from every bucket it is in."""
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return
+        for policy_id in entry.candidate_ids:
+            bucket = self.buckets.get(policy_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self.buckets[policy_id]
+
+    def evict_bucket(self, policy_id: str) -> None:
+        """Evict every entry whose decision considered *policy_id*."""
+        for key in self.buckets.pop(policy_id, ()):
+            self.targeted_evictions += 1
+            self.drop(key)
+
+    def evict_newly_matching(self, policy) -> None:
+        """Evict entries the updated *policy*'s new target could reach.
+
+        Probes each surviving entry's stored request through a
+        single-policy index: a non-empty candidate set means the new
+        version plausibly matches that request, so the entry may be
+        stale even though the old version never considered it.
+        Requests only ever gain attributes, so the probe stays an
+        over-approximation even for a caller-mutated request object.
+        """
+        from repro.xacml.index import PolicyIndex
+
+        probe = PolicyIndex()
+        probe.add(policy)
+        stale = [
+            key
+            for key, entry in self.entries.items()
+            if probe.candidate_ids(entry.request)
+        ]
+        for key in stale:
+            self.targeted_evictions += 1
+            self.drop(key)
+
+    def stats(self) -> dict:
+        """A fresh counter snapshot (never a live/shared mapping)."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "full_flushes": self.full_flushes,
+            "targeted_evictions": self.targeted_evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+
 class PolicyDecisionPoint:
     """Evaluates requests against a :class:`PolicyStore`."""
 
@@ -111,17 +245,7 @@ class PolicyDecisionPoint:
         self.cache_size = cache_size
         #: Number of evaluations performed (exported to the benchmarks).
         self.evaluations = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        #: Number of store events that invalidated cache state (any kind).
-        self.cache_invalidations = 0
-        #: Store events that flushed the whole cache (loads).
-        self.cache_full_flushes = 0
-        #: Entries evicted by targeted (per-policy) invalidation.
-        self.cache_targeted_evictions = 0
-        self._cache: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
-        #: policy id → cache keys of the entries that considered it.
-        self._buckets: Dict[str, Set[tuple]] = {}
+        self.cache = DecisionCache(cache_size)
         # Only a caching PDP needs store events (the index lives in the
         # store itself), so cache-less PDPs — reference mode included —
         # don't pin themselves to the store's listener list.
@@ -145,29 +269,13 @@ class PolicyDecisionPoint:
         alive and invoked forever.
         """
         self.store.remove_listener(self._on_store_event)
-        self._cache.clear()
-        self._buckets.clear()
+        self.cache.entries.clear()
+        self.cache.buckets.clear()
 
     # -- invalidation -----------------------------------------------------------
 
     def _on_store_event(self, event: str, policy) -> None:
-        self.cache_invalidations += 1
-        if event == "removed":
-            self._evict_bucket(policy.policy_id)
-        elif event == "updated":
-            self._evict_bucket(policy.policy_id)
-            self._evict_newly_matching(policy)
-        else:
-            # "loaded" (and any unknown event, conservatively): a new
-            # policy can change any decision — NotApplicable may become
-            # Permit — and it has no bucket yet, so flush wholesale.
-            self._flush()
-
-    def _flush(self) -> None:
-        if self._cache:
-            self._cache.clear()
-            self._buckets.clear()
-        self.cache_full_flushes += 1
+        self.cache.on_store_event(event, policy)
 
     def flush_cache(self) -> None:
         """Drop every cached decision (counted as a full flush).
@@ -176,48 +284,7 @@ class PolicyDecisionPoint:
         observe — e.g. switching the combining algorithm — and for
         benchmarks that need cold caches between rounds.
         """
-        self._flush()
-
-    def _drop(self, key: tuple) -> None:
-        """Remove one entry and unlink it from every bucket it is in."""
-        entry = self._cache.pop(key, None)
-        if entry is None:
-            return
-        for policy_id in entry.candidate_ids:
-            bucket = self._buckets.get(policy_id)
-            if bucket is not None:
-                bucket.discard(key)
-                if not bucket:
-                    del self._buckets[policy_id]
-
-    def _evict_bucket(self, policy_id: str) -> None:
-        """Evict every entry whose decision considered *policy_id*."""
-        for key in self._buckets.pop(policy_id, ()):
-            self.cache_targeted_evictions += 1
-            self._drop(key)
-
-    def _evict_newly_matching(self, policy) -> None:
-        """Evict entries the updated *policy*'s new target could reach.
-
-        Probes each surviving entry's stored request through a
-        single-policy index: a non-empty candidate set means the new
-        version plausibly matches that request, so the entry may be
-        stale even though the old version never considered it.
-        Requests only ever gain attributes, so the probe stays an
-        over-approximation even for a caller-mutated request object.
-        """
-        from repro.xacml.index import PolicyIndex
-
-        probe = PolicyIndex()
-        probe.add(policy)
-        stale = [
-            key
-            for key, entry in self._cache.items()
-            if probe.candidate_ids(entry.request)
-        ]
-        for key in stale:
-            self.cache_targeted_evictions += 1
-            self._drop(key)
+        self.cache.flush()
 
     # -- evaluation -------------------------------------------------------------
 
@@ -229,20 +296,14 @@ class PolicyDecisionPoint:
             # and candidate-id bookkeeping entirely — seed-identical work.
             return self._decide(self._candidates(request), request)
         key = request.fingerprint()
-        cached = self._cache.get(key)
+        cached = self.cache.get(key)
         if cached is not None:
-            self._cache.move_to_end(key)
-            self.cache_hits += 1
-            return cached.response
-        self.cache_misses += 1
+            return cached
         candidates = self._candidates(request)
         response = self._decide(candidates, request)
-        candidate_ids = frozenset(p.policy_id for p in candidates)
-        self._cache[key] = _CacheEntry(response, request, candidate_ids)
-        for policy_id in candidate_ids:
-            self._buckets.setdefault(policy_id, set()).add(key)
-        while len(self._cache) > self.cache_size:
-            self._drop(next(iter(self._cache)))
+        self.cache.put(
+            key, response, request, frozenset(p.policy_id for p in candidates)
+        )
         return response
 
     def _candidates(self, request: Request):
@@ -255,19 +316,42 @@ class PolicyDecisionPoint:
     def _decide(self, candidates, request: Request) -> Response:
         return decide(candidates, request, self.combining)
 
+    # Counter names predating the DecisionCache extraction — kept as the
+    # public monitoring surface (tests and benchmarks read them).
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    @property
+    def cache_invalidations(self) -> int:
+        return self.cache.invalidations
+
+    @property
+    def cache_full_flushes(self) -> int:
+        return self.cache.full_flushes
+
+    @property
+    def cache_targeted_evictions(self) -> int:
+        return self.cache.targeted_evictions
+
+    @property
+    def _cache(self) -> "OrderedDict[tuple, _CacheEntry]":
+        return self.cache.entries
+
+    @property
+    def _buckets(self) -> Dict[str, Set[tuple]]:
+        return self.cache.buckets
+
     @property
     def cache_hit_rate(self) -> float:
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        total = self.cache.hits + self.cache.misses
+        return self.cache.hits / total if total else 0.0
 
     def cache_stats(self) -> dict:
-        """Counters for monitoring, benchmarks and tests."""
-        return {
-            "entries": len(self._cache),
-            "hits": self.cache_hits,
-            "misses": self.cache_misses,
-            "invalidations": self.cache_invalidations,
-            "full_flushes": self.cache_full_flushes,
-            "targeted_evictions": self.cache_targeted_evictions,
-            "hit_rate": self.cache_hit_rate,
-        }
+        """A fresh counter snapshot for monitoring, benchmarks and tests."""
+        return self.cache.stats()

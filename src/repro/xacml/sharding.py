@@ -10,29 +10,53 @@ survives unchanged as the reference mode for differential testing
 (``PolicyDecisionPoint.reference()`` over a single store; the sharding
 equivalence harness in ``tests/properties`` pins the two bit-identical).
 
-**Partitioning.**  Policies are hash-partitioned by the literal
-resource-id values their target can match — the *candidate keys* the
-PR 1 target index extracts (``string-equal`` on the standard resource-id
-attribute).  A policy whose resource category is a wildcard or carries
-any non-indexable alternative (regex matches, non-standard attributes)
-over-approximates to *every* shard, exactly mirroring the index's
-wildcard-bucket fallback; a multi-literal target is placed on each
-literal's shard.  The hash is :func:`zlib.crc32` — stable across
-processes, unlike ``hash(str)``, so placement (and therefore benchmark
-shard balance) is reproducible.
+**Partitioning.**  Placement is pluggable (:class:`PartitionStrategy`).
+The default :class:`ResourceKeyPartitioner` hash-partitions policies by
+the literal resource-id values their target can match — the *candidate
+keys* the PR 1 target index extracts (``string-equal`` on the standard
+resource-id attribute).  A policy whose keyed category is a wildcard or
+carries any non-indexable alternative (regex matches, non-standard
+attributes) over-approximates to *every* shard, exactly mirroring the
+index's wildcard-bucket fallback; a multi-literal target is placed on
+each literal's shard.  :class:`SubjectKeyPartitioner` applies the same
+rule to subject-id keys — the right axis for subject-heavy populations
+(the Table-3/zipf workloads), whose resource targets are often wildcards
+and would otherwise replicate everywhere and degenerate every request to
+a scatter.  :class:`CompositeKeyPartitioner` picks per policy: resource
+keys when the resource category is literal, else subject keys, else full
+replication — and routes requests over exactly the dimensions the
+current population actually uses.  The hash is :func:`zlib.crc32` —
+stable across processes, unlike ``hash(str)``, so placement (and
+therefore benchmark shard balance) is reproducible, and a worker process
+agrees with its parent about who owns what.
 
 **Routing.**  The placement rule yields the routing invariant: every
-policy whose target could match a request lives on every shard any of
-the request's resource-id values hashes to.  A request with resource
-values hashing to a single shard — the overwhelmingly common shape, and
-the only one the PEP admits — is answered entirely by that shard's PDP
-(its index, its decision cache).  A request with no resource-id value
-can only match resource-wildcard policies, which are replicated
-everywhere, so any one shard (shard 0) answers it.  Requests spanning
-shards take the *scatter* path: candidates are gathered from each
-relevant shard, de-duplicated (wildcard replicas appear once per shard)
-and re-ordered by global load sequence, then combined through the same
+policy whose target could match a request lives on every shard the
+strategy routes that request to.  A request routing to a single shard —
+the overwhelmingly common shape — is answered entirely by that shard's
+PDP (its index, its decision cache).  A request with no value in any
+partitioned dimension can only match fully-replicated policies, so any
+one shard (shard 0) answers it.  Requests spanning shards take the
+*scatter* path: candidates are gathered from each relevant shard,
+de-duplicated (wildcard replicas appear once per shard) and re-ordered
+by global load sequence, then combined through the same
 :func:`repro.xacml.pdp.decide` step as everything else.
+
+**Scatter caching and single-flight.**  The scatter path keeps its own
+:class:`~repro.xacml.pdp.DecisionCache` — an LRU keyed by the full
+request fingerprint, bucketed by the candidate policy ids that produced
+each decision and invalidated through the :class:`InvalidationBus`
+(``removed``/``updated`` evict the policy's bucket — updates also probe
+for newly-matching entries — and ``loaded`` flushes wholesale, exactly
+the per-store discipline).  Concurrent identical scatter requests are
+de-duplicated *single-flight*: one thread gathers and merges, the rest
+wait on the published result.  Coherence under concurrency comes from a
+version stamp: every bus event bumps a version, a merge records the
+version it started under, and a merge that an event overlapped is
+returned to its own (concurrent) caller but never cached and never
+handed to waiters — a waiter that joined after the mutation retries
+against the post-mutation store, so a completed mutation is never
+masked by an in-flight merge.
 
 **Why single-shard routing is exact.**  Shard stores are loaded in
 global event order with their global sequence numbers pinned
@@ -41,7 +65,7 @@ candidate list is the global candidate list restricted to policies that
 can plausibly match the request — and the built-in combining algorithms
 ignore NotApplicable policies, the same argument that makes the PR 1
 target index sound.  Pinning matters on update: a new policy version
-whose resource keys move it onto a different shard arrives there as a
+whose keys move it onto a different shard arrives there as a
 shard-local *load* but keeps its original global position, matching the
 single store's update-in-place semantics.
 
@@ -53,23 +77,46 @@ in the single-instance engine (a migrating update decomposes into
 ``loaded`` — a conservative full flush — where it arrived).  Cross-shard
 coherence flows through the :class:`InvalidationBus`: every logical
 store event is published exactly once (never once per replica) to
-subscribers that span shards — query-graph revocation, audit trails and
-the proxy handle cache (:meth:`repro.framework.proxy.Proxy` subscribes
-so revocation is purged end-to-end, not merely masked by revalidation).
-The bus exposes the same ``add_listener`` contract as ``PolicyStore``,
-so every existing store observer works unchanged against a sharded
-deployment.
+subscribers that span shards — query-graph revocation, audit trails,
+the proxy handle cache and the scatter decision cache.  The bus exposes
+the same ``add_listener`` contract as ``PolicyStore``, so every
+existing store observer works unchanged against a sharded deployment.
+Shard-*level* observers (:meth:`ShardedPolicyStore.add_shard_listener`)
+additionally see each per-replica operation with its pinned sequence —
+the feed a :class:`ProcessShardPool` mirrors into worker processes.
+
+**Worker processes.**  :class:`ProcessShardPool` runs each shard's
+indexed+cached PDP on a real ``multiprocessing`` worker: one process
+per shard, a command/response queue pair per worker, routed requests
+shipped in batches and evaluated by the worker's own
+:class:`PolicyDecisionPoint` over a mirrored shard store.  Mutations
+fan out synchronously through the shard-listener feed (the store
+mutation does not return until every affected worker has applied and
+acknowledged its shard-local operation), so worker caches invalidate
+coherently; scatter requests are merged parent-side through the same
+cached single-flight path as the in-process engine.  The pool exists so
+``benchmarks/bench_pdp_sharding.py`` can *measure* multi-core scale-out
+wall-clock instead of assuming it via the makespan model.  The pool is
+not thread-safe: drive it from one thread (each worker is internally
+serial, like a real one-process-per-shard deployment).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 import zlib
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PolicyStoreError
-from repro.xacml.attributes import RESOURCE_ID, AttributeCategory
+from repro.xacml.attributes import RESOURCE_ID, SUBJECT_ID, AttributeCategory
 from repro.xacml.index import _category_keys
-from repro.xacml.pdp import DEFAULT_CACHE_SIZE, PolicyDecisionPoint, decide
+from repro.xacml.pdp import (
+    DEFAULT_CACHE_SIZE,
+    DecisionCache,
+    PolicyDecisionPoint,
+    decide,
+)
 from repro.xacml.policy import Policy
 from repro.xacml.request import Request
 from repro.xacml.response import Response
@@ -79,6 +126,188 @@ from repro.xacml.store import ChangeListener, PolicyStore
 def shard_of(key: str, n_shards: int) -> int:
     """The shard owning routing key *key* — stable across processes."""
     return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+# -- partitioning strategies ---------------------------------------------------------
+
+class PartitionStrategy:
+    """Decides where policies live and which shards a request must visit.
+
+    The contract both sides must uphold together: *every policy whose
+    target could match a request is placed on at least one shard that
+    ``shards_for_request`` returns for it* (replicating to all shards is
+    always a sound fallback).  Placement must be deterministic and
+    process-stable so parent and worker processes agree.
+
+    ``policy_placed`` / ``policy_removed`` are lifecycle hooks the store
+    calls after each logical mutation; stateless strategies ignore them,
+    the composite uses them to track which dimensions the population
+    actually occupies.
+    """
+
+    name = "base"
+
+    def shards_for_policy(self, policy: Policy, n_shards: int) -> FrozenSet[int]:
+        raise NotImplementedError
+
+    def shards_for_request(self, request: Request, n_shards: int) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def policy_placed(self, policy: Policy) -> None:
+        pass
+
+    def policy_removed(self, policy: Policy) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _KeyedPartitioner(PartitionStrategy):
+    """Hash-partitioning on one indexed category's literal keys."""
+
+    #: Overridden per subclass: (AttributeCategory, standard attribute id).
+    category: AttributeCategory
+    attribute_id: str
+
+    def _policy_keys(self, policy: Policy) -> Optional[FrozenSet[str]]:
+        """Literal keys of the partitioned category, or None (wildcard)."""
+        alternatives = (
+            policy.target.resources
+            if self.category is AttributeCategory.RESOURCE
+            else policy.target.subjects
+        )
+        keys = _category_keys(alternatives, self.category, self.attribute_id)
+        return None if keys is None else frozenset(keys)
+
+    def shards_for_policy(self, policy: Policy, n_shards: int) -> FrozenSet[int]:
+        keys = self._policy_keys(policy)
+        if keys is None:
+            return frozenset(range(n_shards))
+        return frozenset(shard_of(key, n_shards) for key in keys)
+
+    def shards_for_request(self, request: Request, n_shards: int) -> Tuple[int, ...]:
+        values = request.values_of(self.category, self.attribute_id)
+        if not values:
+            # Only fully-replicated policies can match; shard 0 is as
+            # authoritative as any.
+            return (0,)
+        return tuple(
+            sorted({shard_of(str(value.value), n_shards) for value in values})
+        )
+
+
+class ResourceKeyPartitioner(_KeyedPartitioner):
+    """Partition by the target's literal resource-id keys (the default)."""
+
+    name = "resource"
+    category = AttributeCategory.RESOURCE
+    attribute_id = RESOURCE_ID
+
+
+class SubjectKeyPartitioner(_KeyedPartitioner):
+    """Partition by the target's literal subject-id keys.
+
+    The right axis when policies are per-subject grants over wildcard
+    resources (the paper's Table 3 shape): under resource keys every
+    such policy replicates everywhere and every request degenerates to
+    a scatter; under subject keys they spread and requests route.
+    """
+
+    name = "subject"
+    category = AttributeCategory.SUBJECT
+    attribute_id = SUBJECT_ID
+
+
+class CompositeKeyPartitioner(PartitionStrategy):
+    """Per-policy dimension choice: resource keys when literal, else
+    subject keys, else full replication.
+
+    Routing visits, for each dimension the *current population actually
+    uses*, the shards the request's values of that dimension hash to —
+    so a homogeneous population routes single-shard exactly like the
+    matching single-dimension strategy, and a mixed population pays a
+    (at most two-shard) scatter only where both dimensions are live.
+    The population counts are maintained through the store's
+    ``policy_placed`` / ``policy_removed`` hooks; count transitions only
+    ever *widen* routing while the policies that required the extra
+    dimension exist, so shard-local decision caches stay coherent (a
+    request is answered by one shard's PDP only while that shard
+    provably holds every policy that could match it).
+    """
+
+    name = "composite"
+
+    def __init__(self):
+        self._resource = ResourceKeyPartitioner()
+        self._subject = SubjectKeyPartitioner()
+        #: Live policy count per partitioned dimension.
+        self._counts = {"resource": 0, "subject": 0}
+
+    def _dimension(self, policy: Policy) -> Optional[str]:
+        if self._resource._policy_keys(policy) is not None:
+            return "resource"
+        if self._subject._policy_keys(policy) is not None:
+            return "subject"
+        return None
+
+    def shards_for_policy(self, policy: Policy, n_shards: int) -> FrozenSet[int]:
+        dimension = self._dimension(policy)
+        if dimension == "resource":
+            return self._resource.shards_for_policy(policy, n_shards)
+        if dimension == "subject":
+            return self._subject.shards_for_policy(policy, n_shards)
+        return frozenset(range(n_shards))
+
+    def shards_for_request(self, request: Request, n_shards: int) -> Tuple[int, ...]:
+        shards = set()
+        if self._counts["resource"]:
+            for value in request.values_of(AttributeCategory.RESOURCE, RESOURCE_ID):
+                shards.add(shard_of(str(value.value), n_shards))
+        if self._counts["subject"]:
+            for value in request.values_of(AttributeCategory.SUBJECT, SUBJECT_ID):
+                shards.add(shard_of(str(value.value), n_shards))
+        if not shards:
+            return (0,)
+        return tuple(sorted(shards))
+
+    def policy_placed(self, policy: Policy) -> None:
+        dimension = self._dimension(policy)
+        if dimension is not None:
+            self._counts[dimension] += 1
+
+    def policy_removed(self, policy: Policy) -> None:
+        dimension = self._dimension(policy)
+        if dimension is not None:
+            self._counts[dimension] -= 1
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+#: Registry of named strategies for configuration surfaces
+#: (``XacmlPlusInstance(pdp_partitioner="subject")`` and friends).
+PARTITIONERS: Dict[str, Callable[[], PartitionStrategy]] = {
+    "resource": ResourceKeyPartitioner,
+    "subject": SubjectKeyPartitioner,
+    "composite": CompositeKeyPartitioner,
+}
+
+
+def make_partitioner(
+    spec: Union[None, str, PartitionStrategy]
+) -> PartitionStrategy:
+    """Resolve a strategy instance, name, or None (→ resource default)."""
+    if spec is None:
+        return ResourceKeyPartitioner()
+    if isinstance(spec, PartitionStrategy):
+        return spec
+    try:
+        return PARTITIONERS[spec]()
+    except KeyError:
+        raise PolicyStoreError(
+            f"unknown partitioner {spec!r}; known: {sorted(PARTITIONERS)}"
+        ) from None
 
 
 class InvalidationBus:
@@ -119,6 +348,12 @@ class InvalidationBus:
             listener(event, policy)
 
 
+#: Shard-level observers: (shard_id, op, payload, sequence) with op in
+#: {"load", "update", "remove"}; payload is the Policy for load/update
+#: and the policy id for remove; sequence is pinned for loads only.
+ShardListener = Callable[[int, str, object, Optional[int]], None]
+
+
 class ShardedPolicyStore:
     """N :class:`PolicyStore` shards behind one logical store facade.
 
@@ -129,12 +364,22 @@ class ShardedPolicyStore:
     :class:`InvalidationBus` (one event per logical mutation).  Each
     shard store keeps its own PR 1 target index, so per-shard candidate
     selection works exactly as in the single-instance engine.
+
+    Mutations and the cross-shard candidate merge are serialised behind
+    one lock, so a concurrent scatter evaluation never observes a
+    half-migrated replica set; single-shard reads stay lock-free (each
+    shard is driven serially, in-process or by its worker).
     """
 
-    def __init__(self, n_shards: int):
+    def __init__(
+        self,
+        n_shards: int,
+        partitioner: Union[None, str, PartitionStrategy] = None,
+    ):
         if n_shards <= 0:
             raise PolicyStoreError(f"shard count must be positive, got {n_shards}")
         self.n_shards = n_shards
+        self.partitioner = make_partitioner(partitioner)
         self.shards: List[PolicyStore] = [PolicyStore() for _ in range(n_shards)]
         self.bus = InvalidationBus()
         #: Logical view: id → policy, in load order (updates keep position).
@@ -145,33 +390,25 @@ class ShardedPolicyStore:
         self._sequence: Dict[str, int] = {}
         self._next_sequence = 0
         #: Policies currently replicated to every shard (wildcard /
-        #: non-indexable resource targets) — a balance health metric.
+        #: non-indexable targets under the strategy) — a balance metric.
         self.replicated = 0
+        self._shard_listeners: List[ShardListener] = []
+        self._mutation_lock = threading.Lock()
 
     # -- placement ---------------------------------------------------------------
 
     def _shards_for_policy(self, policy: Policy) -> FrozenSet[int]:
         """The shards that must hold *policy* (all, for wildcards)."""
-        keys = _category_keys(
-            policy.target.resources, AttributeCategory.RESOURCE, RESOURCE_ID
-        )
-        if keys is None:
-            return frozenset(range(self.n_shards))
-        return frozenset(shard_of(key, self.n_shards) for key in keys)
+        return self.partitioner.shards_for_policy(policy, self.n_shards)
 
     def shards_for_request(self, request: Request) -> Tuple[int, ...]:
         """The shards whose policies could match *request*, ascending.
 
-        A request with no resource-id value can only match
-        resource-wildcard policies, which every shard replicates — any
+        A request with no value in any partitioned dimension can only
+        match fully-replicated policies, which every shard holds — any
         single shard is authoritative, so shard 0 is returned.
         """
-        values = request.values_of(AttributeCategory.RESOURCE, RESOURCE_ID)
-        if not values:
-            return (0,)
-        return tuple(
-            sorted({shard_of(str(value.value), self.n_shards) for value in values})
-        )
+        return self.partitioner.shards_for_request(request, self.n_shards)
 
     def placement_of(self, policy_id: str) -> FrozenSet[int]:
         """The shards holding *policy_id* (empty frozenset if unknown)."""
@@ -189,23 +426,68 @@ class ShardedPolicyStore:
     def remove_listener(self, listener: ChangeListener) -> None:
         self.bus.remove_listener(listener)
 
+    def add_shard_listener(self, listener: ShardListener) -> None:
+        """Observe every per-replica operation (see :data:`ShardListener`).
+
+        Shard listeners fire *before* the logical bus event, once per
+        affected shard, after the whole mutation has been applied
+        in-process (every shard store and the logical bookkeeping) —
+        the replication feed a worker pool mirrors.  A listener that
+        raises does not unwind the applied mutation: the bus event
+        still goes out, then the failure propagates to the mutator.
+        """
+        self._shard_listeners.append(listener)
+
+    def remove_shard_listener(self, listener: ShardListener) -> None:
+        try:
+            self._shard_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_shard(
+        self, shard_id: int, op: str, payload, sequence: Optional[int] = None
+    ) -> None:
+        for listener in list(self._shard_listeners):
+            listener(shard_id, op, payload, sequence)
+
     # -- mutation ----------------------------------------------------------------
+
+    def _finish_mutation(self, shard_ops, event: str, policy: Policy) -> None:
+        """Fan a completed mutation out: shard listeners, then the bus.
+
+        Runs only after the in-process shard stores *and* the logical
+        bookkeeping are fully applied, so a listener that fails (e.g. a
+        dead worker mirror) can never leave this store half-mutated —
+        and the logical bus event still reaches in-process subscribers
+        (scatter cache, proxy, graph revocation), keeping them coherent
+        with the state that was in fact applied, before the listener's
+        failure propagates to the mutator.
+        """
+        try:
+            for shard_id, op, payload, sequence in shard_ops:
+                self._notify_shard(shard_id, op, payload, sequence)
+        finally:
+            self.bus.publish(event, policy)
 
     def load(self, policy: Policy) -> None:
         """Load a new policy onto its owning shard(s)."""
         if policy.policy_id in self._policies:
             raise PolicyStoreError(f"policy {policy.policy_id!r} is already loaded")
-        shard_ids = self._shards_for_policy(policy)
-        sequence = self._next_sequence
-        self._next_sequence += 1
-        for shard_id in sorted(shard_ids):
-            self.shards[shard_id].load(policy, sequence=sequence)
-        self._policies[policy.policy_id] = policy
-        self._placement[policy.policy_id] = shard_ids
-        self._sequence[policy.policy_id] = sequence
-        if len(shard_ids) == self.n_shards:
-            self.replicated += 1
-        self.bus.publish("loaded", policy)
+        with self._mutation_lock:
+            shard_ids = self._shards_for_policy(policy)
+            sequence = self._next_sequence
+            self._next_sequence += 1
+            shard_ops = []
+            for shard_id in sorted(shard_ids):
+                self.shards[shard_id].load(policy, sequence=sequence)
+                shard_ops.append((shard_id, "load", policy, sequence))
+            self._policies[policy.policy_id] = policy
+            self._placement[policy.policy_id] = shard_ids
+            self._sequence[policy.policy_id] = sequence
+            if len(shard_ids) == self.n_shards:
+                self.replicated += 1
+            self.partitioner.policy_placed(policy)
+            self._finish_mutation(shard_ops, "loaded", policy)
 
     def update(self, policy: Policy) -> None:
         """Replace a loaded policy, migrating replicas as its keys move.
@@ -217,35 +499,47 @@ class ShardedPolicyStore:
         """
         if policy.policy_id not in self._policies:
             raise PolicyStoreError(f"policy {policy.policy_id!r} is not loaded")
-        old_shards = self._placement[policy.policy_id]
-        new_shards = self._shards_for_policy(policy)
-        sequence = self._sequence[policy.policy_id]
-        for shard_id in sorted(old_shards - new_shards):
-            self.shards[shard_id].remove(policy.policy_id)
-        for shard_id in sorted(old_shards & new_shards):
-            self.shards[shard_id].update(policy)
-        for shard_id in sorted(new_shards - old_shards):
-            self.shards[shard_id].load(policy, sequence=sequence)
-        self._policies[policy.policy_id] = policy
-        self._placement[policy.policy_id] = new_shards
-        if len(old_shards) == self.n_shards and len(new_shards) < self.n_shards:
-            self.replicated -= 1
-        elif len(old_shards) < self.n_shards and len(new_shards) == self.n_shards:
-            self.replicated += 1
-        self.bus.publish("updated", policy)
+        with self._mutation_lock:
+            old_policy = self._policies[policy.policy_id]
+            old_shards = self._placement[policy.policy_id]
+            new_shards = self._shards_for_policy(policy)
+            sequence = self._sequence[policy.policy_id]
+            shard_ops = []
+            for shard_id in sorted(old_shards - new_shards):
+                self.shards[shard_id].remove(policy.policy_id)
+                shard_ops.append((shard_id, "remove", policy.policy_id, None))
+            for shard_id in sorted(old_shards & new_shards):
+                self.shards[shard_id].update(policy)
+                shard_ops.append((shard_id, "update", policy, None))
+            for shard_id in sorted(new_shards - old_shards):
+                self.shards[shard_id].load(policy, sequence=sequence)
+                shard_ops.append((shard_id, "load", policy, sequence))
+            self._policies[policy.policy_id] = policy
+            self._placement[policy.policy_id] = new_shards
+            if len(old_shards) == self.n_shards and len(new_shards) < self.n_shards:
+                self.replicated -= 1
+            elif len(old_shards) < self.n_shards and len(new_shards) == self.n_shards:
+                self.replicated += 1
+            self.partitioner.policy_removed(old_policy)
+            self.partitioner.policy_placed(policy)
+            self._finish_mutation(shard_ops, "updated", policy)
 
     def remove(self, policy_id: str) -> Policy:
         if policy_id not in self._policies:
             raise PolicyStoreError(f"policy {policy_id!r} is not loaded")
-        shard_ids = self._placement.pop(policy_id)
-        for shard_id in sorted(shard_ids):
-            self.shards[shard_id].remove(policy_id)
-        policy = self._policies.pop(policy_id)
-        self._sequence.pop(policy_id, None)
-        if len(shard_ids) == self.n_shards:
-            self.replicated -= 1
-        self.bus.publish("removed", policy)
-        return policy
+        with self._mutation_lock:
+            shard_ids = self._placement.pop(policy_id)
+            shard_ops = []
+            for shard_id in sorted(shard_ids):
+                self.shards[shard_id].remove(policy_id)
+                shard_ops.append((shard_id, "remove", policy_id, None))
+            policy = self._policies.pop(policy_id)
+            self._sequence.pop(policy_id, None)
+            if len(shard_ids) == self.n_shards:
+                self.replicated -= 1
+            self.partitioner.policy_removed(policy)
+            self._finish_mutation(shard_ops, "removed", policy)
+            return policy
 
     # -- lookup ------------------------------------------------------------------
 
@@ -266,17 +560,19 @@ class ShardedPolicyStore:
         shard_ids = self.shards_for_request(request)
         if len(shard_ids) == 1:
             return self.shards[shard_ids[0]].policies_for(request)
-        merged: Dict[str, Policy] = {}
-        for shard_id in shard_ids:
-            for policy in self.shards[shard_id].policies_for(request):
-                merged.setdefault(policy.policy_id, policy)
-        sequence = self._sequence
-        return sorted(merged.values(), key=lambda p: sequence[p.policy_id])
+        with self._mutation_lock:
+            merged: Dict[str, Policy] = {}
+            for shard_id in shard_ids:
+                for policy in self.shards[shard_id].policies_for(request):
+                    merged.setdefault(policy.policy_id, policy)
+            sequence = self._sequence
+            return sorted(merged.values(), key=lambda p: sequence[p.policy_id])
 
     def stats(self) -> Dict[str, object]:
         """Placement balance and bus counters, for monitoring and tests."""
         return {
             "n_shards": self.n_shards,
+            "partitioner": self.partitioner.name,
             "policies": len(self._policies),
             "replicated": self.replicated,
             "per_shard": [len(shard) for shard in self.shards],
@@ -292,8 +588,154 @@ class ShardedPolicyStore:
     def __repr__(self) -> str:
         return (
             f"ShardedPolicyStore(shards={self.n_shards}, "
+            f"partitioner={self.partitioner.name!r}, "
             f"policies={len(self._policies)}, replicated={self.replicated})"
         )
+
+
+# -- the scatter path ----------------------------------------------------------------
+
+class _ScatterCall:
+    """One in-flight scatter merge, shared by its leader and waiters."""
+
+    __slots__ = ("done", "version", "response", "stale")
+
+    def __init__(self, version: int):
+        self.done = threading.Event()
+        #: Invalidation version the merge started under.
+        self.version = version
+        self.response: Optional[Response] = None
+        #: True until the leader publishes a merge no event overlapped.
+        self.stale = True
+
+
+class ScatterEvaluator:
+    """Cached, single-flight evaluation of shard-spanning requests.
+
+    See the module docstring (*Scatter caching and single-flight*) for
+    the coherence argument.  ``cache_size=0`` disables both the cache
+    and the single-flight machinery, leaving the bare gather-and-merge
+    path (the PR 4 behaviour the benchmark compares against).
+    """
+
+    def __init__(self, store: ShardedPolicyStore, combining: str, cache_size: int):
+        self.store = store
+        self.combining = combining
+        self.cache = DecisionCache(cache_size)
+        self.enabled = cache_size > 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[tuple, _ScatterCall] = {}
+        #: Bumped on every bus event; stamps in-flight merges.
+        self._version = 0
+        #: Gather+merge evaluations actually performed.
+        self.merges = 0
+        #: Waiters served by a concurrent leader's merge.
+        self.coalesced = 0
+        #: Waiters that re-evaluated because an invalidation overlapped.
+        self.retries = 0
+        if self.enabled:
+            store.bus.add_listener(self._on_bus_event)
+
+    def _on_bus_event(self, event: str, policy) -> None:
+        with self._lock:
+            self._version += 1
+            self.cache.on_store_event(event, policy)
+
+    def set_combining(self, combining: str) -> None:
+        with self._lock:
+            self.combining = combining
+            self._version += 1
+            if self.enabled:
+                self.cache.flush()
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus and drop every cached decision."""
+        if self.enabled:
+            self.store.bus.remove_listener(self._on_bus_event)
+        with self._lock:
+            self.cache.entries.clear()
+            self.cache.buckets.clear()
+
+    def flush(self) -> None:
+        """Cold-start the scatter cache (counted as a full flush)."""
+        with self._lock:
+            self.cache.flush()
+
+    def evaluate(self, request: Request) -> Response:
+        if not self.enabled:
+            self.merges += 1
+            return decide(self.store.policies_for(request), request, self.combining)
+        key = request.fingerprint()
+        while True:
+            with self._lock:
+                response = self.cache.get(key)
+                if response is not None:
+                    return response
+                call = self._inflight.get(key)
+                if call is None:
+                    call = _ScatterCall(self._version)
+                    self._inflight[key] = call
+                    break  # this thread leads the merge
+                self.coalesced += 1
+            call.done.wait()
+            if not call.stale:
+                return call.response
+            # An invalidation (or a leader failure) overlapped the merge:
+            # this waiter may postdate the mutation, so it must re-read.
+            with self._lock:
+                self.retries += 1
+        try:
+            candidates = self.store.policies_for(request)
+            response = decide(candidates, request, self.combining)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            call.done.set()  # waiters observe stale=True and retry
+            raise
+        with self._lock:
+            self.merges += 1
+            call.response = response
+            call.stale = call.version != self._version
+            if not call.stale:
+                self.cache.put(
+                    key,
+                    response,
+                    request,
+                    frozenset(p.policy_id for p in candidates),
+                )
+            self._inflight.pop(key, None)
+        call.done.set()
+        return response
+
+    def stats(self) -> dict:
+        """A fresh snapshot: cache counters plus single-flight counters."""
+        with self._lock:
+            snapshot = self.cache.stats()
+            snapshot["merges"] = self.merges
+            snapshot["coalesced"] = self.coalesced
+            snapshot["retries"] = self.retries
+            return snapshot
+
+
+def _aggregate_cache_stats(shard_stats, scatter_stats, routed, scattered) -> dict:
+    """Fold per-shard cache snapshots + scatter counters into one pure
+    snapshot — the single shape ``ShardedPDP.cache_stats`` and
+    ``ProcessShardPool.cache_stats`` both report."""
+    totals = {
+        "entries": 0, "hits": 0, "misses": 0, "invalidations": 0,
+        "full_flushes": 0, "targeted_evictions": 0,
+    }
+    for stats in shard_stats:
+        for key in totals:
+            totals[key] += stats[key]
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+    for key, value in scatter_stats.items():
+        totals[f"scatter_{key}"] = value
+    totals["routed"] = routed
+    totals["scattered"] = scattered
+    totals["evaluations"] = routed + scattered
+    return totals
 
 
 class ShardedPDP:
@@ -301,14 +743,21 @@ class ShardedPDP:
 
     Every shard runs a full fast-path :class:`PolicyDecisionPoint`
     (target index + per-policy-invalidated decision cache) over its
-    shard store; shard-spanning requests fall back to a scatter
-    evaluation over the merged, globally-ordered candidate list through
-    the shared :func:`repro.xacml.pdp.decide` step.  Decision- and
-    obligation-identical to a single ``PolicyDecisionPoint`` over the
-    same policy population for the built-in combining algorithms (the
-    property harness proves it across shard counts and interleaved
-    mutations); a single-store ``PolicyDecisionPoint.reference()``
-    remains the reference mode.
+    shard store; shard-spanning requests go through the
+    :class:`ScatterEvaluator` — the merged, globally-ordered candidate
+    list combined by the shared :func:`repro.xacml.pdp.decide` step,
+    fronted by the scatter decision cache with single-flight
+    de-duplication.  Decision- and obligation-identical to a single
+    ``PolicyDecisionPoint`` over the same policy population for the
+    built-in combining algorithms (the property harness proves it
+    across partitioners, shard counts and interleaved mutations); a
+    single-store ``PolicyDecisionPoint.reference()`` remains the
+    reference mode.
+
+    Concurrency: the scatter path is thread-safe (single-flight plus
+    the store's mutation lock).  Each shard PDP is serial state — drive
+    a given shard from one thread, exactly as a one-process-per-shard
+    deployment (:class:`ProcessShardPool`) does naturally.
     """
 
     def __init__(
@@ -317,13 +766,31 @@ class ShardedPDP:
         combining: str = "first-applicable",
         n_shards: int = 4,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        scatter_cache_size: Optional[int] = None,
+        partitioner: Union[None, str, PartitionStrategy] = None,
     ):
-        self.store = store if store is not None else ShardedPolicyStore(n_shards)
+        if store is None:
+            store = ShardedPolicyStore(n_shards, partitioner=partitioner)
+        elif partitioner is not None:
+            # Placement belongs to the store (policies are already laid
+            # out by its strategy); silently ignoring a different one
+            # here would leave the caller believing e.g. subject
+            # routing is active while everything scatters.
+            raise PolicyStoreError(
+                "partitioner is set on ShardedPolicyStore; construct the "
+                "store with the desired strategy instead of passing one "
+                "to ShardedPDP alongside an existing store"
+            )
+        self.store = store
         self._combining = combining
         self.shard_pdps: List[PolicyDecisionPoint] = [
             PolicyDecisionPoint(shard, combining, use_index=True, cache_size=cache_size)
             for shard in self.store.shards
         ]
+        if scatter_cache_size is None:
+            scatter_cache_size = cache_size
+        self.scatter = ScatterEvaluator(self.store, combining, scatter_cache_size)
+        self._counter_lock = threading.Lock()
         #: Requests answered by a single shard's PDP.
         self.routed_evaluations = 0
         #: Requests that had to gather candidates across shards.
@@ -340,19 +807,23 @@ class ShardedPDP:
     @combining.setter
     def combining(self, name: str) -> None:
         # Cached decisions are keyed by request fingerprint only, so a
-        # combining change must drop them on every shard.
+        # combining change must drop them on every shard and in the
+        # scatter cache.
         self._combining = name
         for pdp in self.shard_pdps:
             pdp.combining = name
             pdp.flush_cache()
+        self.scatter.set_combining(name)
 
     def evaluate(self, request: Request) -> Response:
         shard_ids = self.store.shards_for_request(request)
         if len(shard_ids) == 1:
-            self.routed_evaluations += 1
+            with self._counter_lock:
+                self.routed_evaluations += 1
             return self.shard_pdps[shard_ids[0]].evaluate(request)
-        self.scatter_evaluations += 1
-        return decide(self.store.policies_for(request), request, self._combining)
+        with self._counter_lock:
+            self.scatter_evaluations += 1
+        return self.scatter.evaluate(request)
 
     @property
     def evaluations(self) -> int:
@@ -360,28 +831,334 @@ class ShardedPDP:
         return self.routed_evaluations + self.scatter_evaluations
 
     def detach(self) -> None:
-        """Unregister every shard PDP from its store and drop its cache."""
+        """Unregister every shard PDP and the scatter cache; drop caches."""
         for pdp in self.shard_pdps:
             pdp.detach()
+        self.scatter.detach()
+
+    def flush_caches(self) -> None:
+        """Cold-start every decision cache (shards + scatter)."""
+        for pdp in self.shard_pdps:
+            pdp.flush_cache()
+        self.scatter.flush()
 
     def cache_stats(self) -> dict:
-        """Aggregated shard-cache counters plus routing split."""
-        totals = {
-            "entries": 0, "hits": 0, "misses": 0, "invalidations": 0,
-            "full_flushes": 0, "targeted_evictions": 0,
-        }
-        for pdp in self.shard_pdps:
-            stats = pdp.cache_stats()
-            for key in totals:
-                totals[key] += stats[key]
-        lookups = totals["hits"] + totals["misses"]
-        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
-        totals["routed"] = self.routed_evaluations
-        totals["scattered"] = self.scatter_evaluations
-        return totals
+        """A pure snapshot: aggregated shard counters, scatter-cache
+        counters (``scatter_*``) and the routing split.
+
+        Built fresh on every call from the live per-shard and scatter
+        snapshots — nothing here mutates or retains aggregation state,
+        so repeated calls (and calls across pool close/re-register
+        cycles) can never double-count.
+        """
+        return _aggregate_cache_stats(
+            [pdp.cache_stats() for pdp in self.shard_pdps],
+            self.scatter.stats(),
+            self.routed_evaluations,
+            self.scatter_evaluations,
+        )
 
     def __repr__(self) -> str:
         return (
             f"ShardedPDP(shards={self.n_shards}, "
             f"policies={len(self.store)}, combining={self._combining!r})"
         )
+
+
+# -- multiprocess shard workers ------------------------------------------------------
+
+def _shard_worker_main(
+    shard_id: int,
+    combining: str,
+    cache_size: int,
+    initial: Sequence[Tuple[Policy, int]],
+    commands,
+    results,
+) -> None:
+    """One shard's worker loop: a mirrored store + indexed/cached PDP.
+
+    Runs in a child process.  Commands arrive on *commands* as tuples
+    tagged by opcode; every command produces exactly one message on
+    *results* (except ``stop``), so the parent can match responses by
+    draining in FIFO order.  Mutations replay the parent's shard-level
+    feed, so the worker's store — and therefore its PDP's index and
+    decision cache — tracks the parent shard exactly.
+    """
+    store = PolicyStore()
+    for policy, sequence in initial:
+        store.load(policy, sequence=sequence)
+    pdp = PolicyDecisionPoint(store, combining, use_index=True, cache_size=cache_size)
+    while True:
+        message = commands.get()
+        op = message[0]
+        if op == "stop":
+            break
+        try:
+            if op == "eval":
+                _, batch_id, requests = message
+                results.put(
+                    ("result", batch_id, [pdp.evaluate(r) for r in requests])
+                )
+            elif op == "load":
+                _, policy, sequence = message
+                store.load(policy, sequence=sequence)
+                results.put(("ack", op, policy.policy_id))
+            elif op == "update":
+                store.update(message[1])
+                results.put(("ack", op, message[1].policy_id))
+            elif op == "remove":
+                store.remove(message[1])
+                results.put(("ack", op, message[1]))
+            elif op == "flush":
+                pdp.flush_cache()
+                results.put(("ack", op, None))
+            elif op == "stats":
+                results.put(("stats", shard_id, pdp.cache_stats()))
+            else:
+                results.put(("error", op, f"unknown opcode {op!r}"))
+        except Exception as error:  # surface, don't kill the worker
+            tag = message[1] if op == "eval" else op
+            results.put(("error", tag, f"{type(error).__name__}: {error}"))
+
+
+class ProcessShardPool:
+    """Shard PDPs on real ``multiprocessing`` workers.
+
+    One process per shard, each running the worker loop above; routed
+    requests ship to the owning worker (batched through
+    :meth:`evaluate_many` so queue/pickle overhead amortises), scatter
+    requests merge parent-side through the shared cached single-flight
+    path.  Mutating the attached :class:`ShardedPolicyStore` fans the
+    shard-level operations out synchronously — the mutation returns
+    only after every affected worker acknowledged, so no later
+    evaluation can observe a pre-mutation worker cache.
+
+    Not thread-safe (drive from one thread); use as a context manager
+    or call :meth:`close`.
+    """
+
+    #: Seconds to wait for any single worker response before declaring
+    #: the worker dead.
+    RESPONSE_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        store: ShardedPolicyStore,
+        combining: str = "first-applicable",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        scatter_cache_size: Optional[int] = None,
+        batch_size: int = 256,
+        start_method: Optional[str] = None,
+    ):
+        self.store = store
+        self._combining = combining
+        self.batch_size = max(1, batch_size)
+        if scatter_cache_size is None:
+            scatter_cache_size = cache_size
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            # fork skips re-pickling the initial policy population and
+            # is the cheapest start on the platforms CI runs on.
+            start_method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        self._commands = []
+        self._results = []
+        self._processes = []
+        for shard_id, shard in enumerate(store.shards):
+            initial = [
+                (policy, store.sequence_of(policy.policy_id))
+                for policy in shard.policies()
+            ]
+            commands, results = ctx.Queue(), ctx.Queue()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(shard_id, combining, cache_size, initial, commands, results),
+                daemon=True,
+                name=f"pdp-shard-{shard_id}",
+            )
+            process.start()
+            self._commands.append(commands)
+            self._results.append(results)
+            self._processes.append(process)
+        self.scatter = ScatterEvaluator(store, combining, scatter_cache_size)
+        store.add_shard_listener(self._on_shard_op)
+        self.routed_evaluations = 0
+        self.scatter_evaluations = 0
+        #: Monotonic over the pool's lifetime — batch tags are never
+        #: reused, so a response left behind by a failed call can never
+        #: be matched to a later call's batch.
+        self._next_batch_id = 0
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker and detach from the store (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.store.remove_shard_listener(self._on_shard_op)
+        self.scatter.detach()
+        for commands in self._commands:
+            try:
+                commands.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for queue in (*self._commands, *self._results):
+            queue.close()
+            # The queues die with the pool; don't let their feeder
+            # threads block interpreter shutdown on unflushed buffers.
+            queue.cancel_join_thread()
+
+    @property
+    def n_shards(self) -> int:
+        return self.store.n_shards
+
+    @property
+    def combining(self) -> str:
+        return self._combining
+
+    @property
+    def evaluations(self) -> int:
+        return self.routed_evaluations + self.scatter_evaluations
+
+    # -- worker protocol --------------------------------------------------------
+
+    def _receive(self, shard_id: int):
+        message = self._results[shard_id].get(timeout=self.RESPONSE_TIMEOUT)
+        if message[0] == "error":
+            raise PolicyStoreError(
+                f"shard worker {shard_id} failed on {message[1]!r}: {message[2]}"
+            )
+        return message
+
+    def _on_shard_op(self, shard_id: int, op: str, payload, sequence) -> None:
+        """Mirror one shard-level store operation into its worker.
+
+        Any failure here (worker error, dead worker, timeout) poisons
+        the pool: it is closed before the error propagates, because a
+        worker that missed a mutation would serve stale decisions on
+        every later evaluation — better no pool than a wrong one.  The
+        store itself stays fully usable (it applied the mutation before
+        notifying, and the bus event still goes out).
+        """
+        if self._closed:
+            return
+        if op == "load":
+            self._commands[shard_id].put(("load", payload, sequence))
+        else:  # "update" carries the policy, "remove" the policy id
+            self._commands[shard_id].put((op, payload))
+        try:
+            kind, *_ = self._receive(shard_id)
+            if kind != "ack":
+                raise PolicyStoreError(
+                    f"expected ack from shard worker {shard_id}, got {kind!r}"
+                )
+        except Exception:
+            self.close()
+            raise
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, request: Request) -> Response:
+        """Evaluate one request (round-trips to the owning worker)."""
+        return self.evaluate_many([request])[0]
+
+    def evaluate_many(self, requests: Sequence[Request]) -> List[Response]:
+        """Evaluate a batch: routed requests fan out to the workers in
+        per-shard chunks (workers run in parallel), scatter requests
+        merge parent-side while the workers chew."""
+        if self._closed:
+            raise PolicyStoreError("the shard pool is closed")
+        responses: List[Optional[Response]] = [None] * len(requests)
+        per_shard: List[List[int]] = [[] for _ in range(self.n_shards)]
+        scatter_indices: List[int] = []
+        for index, request in enumerate(requests):
+            shard_ids = self.store.shards_for_request(request)
+            if len(shard_ids) == 1:
+                per_shard[shard_ids[0]].append(index)
+            else:
+                scatter_indices.append(index)
+        # Ship every chunk before collecting anything: queue puts are
+        # asynchronous (feeder threads), so all workers start promptly
+        # and evaluate while the parent handles the scatter share.
+        pending: Dict[int, Dict[int, List[int]]] = {}
+        for shard_id, indices in enumerate(per_shard):
+            for start in range(0, len(indices), self.batch_size):
+                chunk = indices[start:start + self.batch_size]
+                batch_id = self._next_batch_id
+                self._next_batch_id += 1
+                self._commands[shard_id].put(
+                    ("eval", batch_id, [requests[i] for i in chunk])
+                )
+                pending.setdefault(shard_id, {})[batch_id] = chunk
+        for index in scatter_indices:
+            responses[index] = self.scatter.evaluate(requests[index])
+        # Drain every expected response before surfacing any worker
+        # error: a partially-drained queue would leave stale results to
+        # be mis-matched by the next call (the unique batch tags are the
+        # backstop; full draining keeps the protocol clean outright).
+        errors: List[str] = []
+        for shard_id, batches in pending.items():
+            for _ in range(len(batches)):
+                try:
+                    message = self._results[shard_id].get(
+                        timeout=self.RESPONSE_TIMEOUT
+                    )
+                except Exception:
+                    errors.append(f"shard worker {shard_id} did not respond")
+                    break
+                if message[0] == "error":
+                    errors.append(
+                        f"shard worker {shard_id} failed on batch "
+                        f"{message[1]!r}: {message[2]}"
+                    )
+                    continue
+                _, tag, payload = message
+                for index, response in zip(batches[tag], payload):
+                    responses[index] = response
+        if errors:
+            raise PolicyStoreError("; ".join(errors))
+        self.routed_evaluations += sum(len(indices) for indices in per_shard)
+        self.scatter_evaluations += len(scatter_indices)
+        return responses
+
+    # -- monitoring -------------------------------------------------------------
+
+    def flush_caches(self) -> None:
+        """Cold-start every worker's decision cache and the scatter cache."""
+        for shard_id, commands in enumerate(self._commands):
+            commands.put(("flush",))
+        for shard_id in range(self.n_shards):
+            self._receive(shard_id)
+        self.scatter.flush()
+
+    def cache_stats(self) -> dict:
+        """A pure snapshot aggregated over the live workers (same shape
+        as :meth:`ShardedPDP.cache_stats`)."""
+        for shard_id, commands in enumerate(self._commands):
+            commands.put(("stats",))
+        shard_stats = [
+            self._receive(shard_id)[2] for shard_id in range(self.n_shards)
+        ]
+        return _aggregate_cache_stats(
+            shard_stats,
+            self.scatter.stats(),
+            self.routed_evaluations,
+            self.scatter_evaluations,
+        )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "live"
+        return f"ProcessShardPool(shards={self.n_shards}, {state})"

@@ -113,6 +113,56 @@ class TestLruEviction:
         assert not proxy.process(request_for("a")).cache_hit
 
 
+class TestTimingAccounting:
+    """The trace identity: virtual-clock time charged inside the proxy
+    equals ``network_seconds + timing.compute_total`` — on misses, live
+    hits, *and* the dead-handle fall-through, where the cache-probe leg
+    used to be charged to the clock but dropped from the breakdown
+    (mis-read as network time by anyone reconstructing shares)."""
+
+    def charge(self, proxy, message):
+        clock = proxy.network.clock
+        before = clock.now()
+        result = proxy.process(message)
+        return clock.now() - before, result
+
+    def assert_identity(self, elapsed, result):
+        accounted = result.network_seconds + result.timing.compute_total
+        assert elapsed == pytest.approx(accounted, rel=1e-12, abs=1e-12)
+
+    def test_miss_and_live_hit_identities(self):
+        server, proxy = deploy()
+        elapsed, result = self.charge(proxy, request_for("LTA"))
+        assert not result.cache_hit
+        self.assert_identity(elapsed, result)
+        elapsed, result = self.charge(proxy, request_for("LTA"))
+        assert result.cache_hit
+        assert result.network_seconds == 0.0
+        self.assert_identity(elapsed, result)
+
+    def test_dead_handle_fall_through_counts_probe_once(self):
+        server, proxy = deploy()
+        first = proxy.process(request_for("LTA"))
+        server.instance.engine.withdraw(first.response.handle_uri)
+        elapsed, result = self.charge(proxy, request_for("LTA"))
+        # The probe found a dead handle and fell through to the server.
+        assert not result.cache_hit and result.response.ok
+        assert result.response.handle_uri != first.response.handle_uri
+        # The probe leg appears exactly once, as compute (query_graph),
+        # never as proxy↔server network time.
+        self.assert_identity(elapsed, result)
+        assert result.timing.query_graph > 0.0
+
+    def test_probe_leg_not_charged_on_plain_miss(self):
+        server, proxy = deploy(subjects=("LTA", "NEA"))
+        proxy.process(request_for("LTA"))
+        # A different key: the cache is probed-by-lookup only (no
+        # liveness check, no clock charge) before the full round trip.
+        elapsed, result = self.charge(proxy, request_for("NEA"))
+        assert not result.cache_hit
+        self.assert_identity(elapsed, result)
+
+
 class TestRevalidation:
     def test_withdrawn_handle_not_served_from_cache(self):
         server, proxy = deploy()

@@ -262,3 +262,67 @@ class TestWelfordStdev:
         got = get_aggregate_function("stdev").compute(values)
         expected = self.two_pass([0.0, 1.0, 2.0, 3.0])
         assert math.isclose(got, expected, rel_tol=1e-6)
+
+
+class TestWelfordConstantWindows:
+    """PR 5 regression pins: the reverse-Welford state must answer an
+    *exact* 0.0 once the held window is constant (the ~8e-7-vs-0.0
+    drift the PR 4 fuzzer caught and tolerated), and must never hold a
+    negative variance residue after an eviction."""
+
+    def sliding(self, values, size):
+        """Drive a state window-fashion; yield the result per window."""
+        state = get_aggregate_function("stdev").make_state()
+        for index, value in enumerate(values):
+            state.insert(value)
+            if index >= size:
+                state.evict(values[index - size])
+            if index >= size - 1:
+                yield state.result()
+
+    def test_window_going_constant_is_exactly_zero(self):
+        # Varied prefix, then a constant tail: the fuzzer's shape.  Once
+        # the varied values have been evicted, the suffix-run detector
+        # must snap the variance to an exact zero — no drift allowance.
+        prefix = [3.7, -12.1, 8.88, 0.003]
+        values = prefix + [4.2] * 12
+        results = list(self.sliding(values, size=4))
+        assert results[-1] == 0.0
+        # results[k] covers values[k:k+4]: fully constant from k=4 on.
+        for result in results[len(prefix):]:
+            assert result == 0.0
+
+    def test_equal_timestamp_regression_shape(self):
+        # The literal PR 4 finding: overlapping window of equal values
+        # reached through insert/evict churn answered ~8e-7.
+        values = [1519.9169921875] * 6 + [1519.9169921875] * 6
+        assert all(r == 0.0 for r in self.sliding(values, size=4))
+
+    def test_mixed_int_float_equal_values_are_constant(self):
+        values = [2, 2.0, 2, 2.0, 2]
+        assert list(self.sliding(values, size=3)) == [0.0, 0.0, 0.0]
+
+    def test_variance_never_negative_after_evictions(self):
+        rng = random.Random(11)
+        state = get_aggregate_function("stdev").make_state()
+        window = []
+        for _ in range(2000):
+            value = rng.choice((0.1, 1e8, -3.5, 1e8, 0.1))
+            window.append(value)
+            state.insert(value)
+            if len(window) > 5:
+                state.evict(window.pop(0))
+            assert state.m2 >= 0.0
+            assert state.result() >= 0.0
+
+    def test_constant_then_varied_still_matches_recompute(self):
+        # Leaving the constant regime must not corrupt the state: the
+        # snapped (mean, 0.0) is the exact state for the held values.
+        values = [7.5] * 6 + [1.25, -3.0, 9.75, 7.5, 7.5, 2.0]
+        size = 4
+        recompute = get_aggregate_function("stdev").compute
+        for got, index in zip(
+            self.sliding(values, size), range(size - 1, len(values))
+        ):
+            expected = recompute(values[index - size + 1:index + 1])
+            assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-12)

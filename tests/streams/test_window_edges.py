@@ -10,6 +10,10 @@ mechanism instead of a shrunk counterexample:
   first timestamp regression — including mid-stream, including across
   the amortized-compaction threshold — and stay output-identical to the
   reference row path;
+- the scan fallback must *not* be sticky: once a compaction sweep
+  drains the disordered backlog (the retained buffer is ascending
+  again) the instance re-arms the monotonic pointer path, and a later
+  regression drops it back to scan — output-identical throughout;
 - empty and singleton batch partitions: ``process_batch`` on the real
   batch path must tolerate degenerate partitions without corrupting
   window state, and any partitioning must emit exactly the same tuples
@@ -125,6 +129,87 @@ class TestOutOfOrderTimeWindows:
             output_schema,
         )
         assert not operator._columnar.monotonic
+
+
+class TestScanFallbackReArms:
+    """The PR 5 regression pins: scan mode is left again once the
+    disordered backlog has been compacted away, instead of pinning the
+    stream to O(buffer) scans forever after one late timestamp."""
+
+    @staticmethod
+    def ooo_then_clean(n_clean):
+        """One early regression, then a long strictly-ascending tail."""
+        points = [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (1.5, 4.0)]
+        ts = 3.0
+        for i in range(n_clean):
+            points.append((ts, float(i)))
+            ts += 1.0
+        return points
+
+    def test_rearm_after_backlog_compacts_away(self):
+        operator = make_operator(WindowType.TIME, 2, 2, use_compiled=True)
+        output_schema = operator.output_schema(SCHEMA)
+        stream = tuples_of(self.ooo_then_clean(200))
+        operator.process_batch(stream[:5], output_schema)
+        state = operator._columnar
+        assert not state.monotonic  # the regression flipped it
+        operator.process_batch(stream[5:], output_schema)
+        # The clean tail pushed the buffer past the compaction threshold,
+        # the sweep removed the stale disordered prefix, and the retained
+        # ascending tail re-armed the pointer path.
+        assert state.monotonic
+        assert state.last_ts == stream[-1]["ts"]
+
+    def test_rearm_is_output_identical_to_reference(self):
+        points = self.ooo_then_clean(200)
+        # ...and a second disorder burst *after* the re-arm, so the
+        # arm → scan → arm → scan → arm cycle is fully exercised.
+        ts = points[-1][0]
+        points += [(ts - 0.5, -1.0), (ts + 1.0, -2.0)]
+        ts += 1.0
+        for i in range(150):
+            ts += 1.0
+            points.append((ts, float(i)))
+        for size, step in ((2, 2), (3, 1), (1, 3)):
+            compiled = make_operator(WindowType.TIME, size, step, use_compiled=True)
+            reference = make_operator(WindowType.TIME, size, step, use_compiled=False)
+            stream = tuples_of(points)
+            got = run_batches(compiled, partitions(stream, [7] * 50 + [len(stream) - 350]))
+            expected = run_batches(reference, [[t] for t in stream])
+            assert got == expected
+            assert got
+            # Both bursts compacted away: the stream ends re-armed.
+            assert compiled._columnar.monotonic
+
+    def test_regression_after_rearm_falls_back_to_scan(self):
+        operator = make_operator(WindowType.TIME, 2, 2, use_compiled=True)
+        output_schema = operator.output_schema(SCHEMA)
+        stream = tuples_of(self.ooo_then_clean(200))
+        operator.process_batch(stream, output_schema)
+        state = operator._columnar
+        assert state.monotonic
+        last = stream[-1]["ts"]
+        operator.process_batch(tuples_of([(last - 0.25, 9.0)]), output_schema)
+        assert not state.monotonic
+
+    def test_no_rearm_while_disorder_is_still_buffered(self):
+        # Persistent disorder keeps inverted pairs inside the live tail,
+        # so every compaction sees a non-ascending buffer and scan mode
+        # survives — the old always-scan behaviour, now by necessity
+        # rather than stickiness.
+        points = [(0.0, 0.0)]
+        ts = 0.0
+        for i in range(300):
+            ts += 0.5
+            points.append((ts, float(i)))
+            points.append((ts - 0.25, float(-i)))  # inversion every step
+        compiled = make_operator(WindowType.TIME, 4, 2, use_compiled=True)
+        reference = make_operator(WindowType.TIME, 4, 2, use_compiled=False)
+        stream = tuples_of(points)
+        got = run_batches(compiled, [stream])
+        expected = run_batches(reference, [[t] for t in stream])
+        assert got == expected
+        assert not compiled._columnar.monotonic
 
 
 class TestDegenerateBatchPartitions:
