@@ -102,7 +102,10 @@ class PolicyEnforcementPoint:
         self._clock = clock
 
     def handle_request(
-        self, request: Request, user_query: Optional[UserQuery] = None
+        self,
+        request: Request,
+        user_query: Optional[UserQuery] = None,
+        pdp_response: Optional[Response] = None,
     ) -> PepResult:
         """Run the five-step workflow for one request.
 
@@ -110,6 +113,11 @@ class PolicyEnforcementPoint:
         :class:`EmptyResultWarning` or :class:`PartialResultWarning` on
         the corresponding failures; on success returns a
         :class:`PepResult` with the stream handle.
+
+        *pdp_response* short-circuits step 2 with a decision already
+        computed elsewhere (a shard worker pool, an async front-end's
+        executor) — the enforcement workflow is otherwise identical, and
+        the skipped evaluation charges zero PDP time.
         """
         subject = request.require_subject()
         stream_name = request.resource_id
@@ -118,9 +126,9 @@ class PolicyEnforcementPoint:
                 Decision.NOT_APPLICABLE, "request names no resource stream"
             )
 
-        # Step 1/2: PDP evaluation.
+        # Step 1/2: PDP evaluation (unless a precomputed decision rides in).
         started = self._clock()
-        response = self.pdp.evaluate(request)
+        response = pdp_response if pdp_response is not None else self.pdp.evaluate(request)
         pdp_elapsed = self._clock() - started
         if response.decision is not Decision.PERMIT:
             raise AccessDeniedError(response.decision)

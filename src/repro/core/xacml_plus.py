@@ -128,17 +128,19 @@ class XacmlPlusInstance:
         self,
         request: Union[Request, str],
         user_query: Optional[Union[UserQuery, str]] = None,
+        pdp_response=None,
     ) -> PepResult:
         """Process one access request (optionally with a customised query).
 
         Accepts live objects or the XML documents of the paper's workload
-        files.
+        files.  *pdp_response* feeds a decision evaluated out-of-band
+        (e.g. on a shard worker pool) into the PEP workflow.
         """
         if isinstance(request, str):
             request = parse_request_xml(request)
         if isinstance(user_query, str):
             user_query = UserQuery.from_xml(user_query)
-        return self.pep.handle_request(request, user_query)
+        return self.pep.handle_request(request, user_query, pdp_response=pdp_response)
 
     def release_stream(self, handle: StreamHandle) -> None:
         self.pep.release(handle)

@@ -47,11 +47,18 @@ class StreamRequestMessage(NamedTuple):
 
 
 class StreamResponseMessage(NamedTuple):
-    """Server → proxy → client: a handle URI, or an error."""
+    """Server → proxy → client: a handle URI, or an error.
+
+    ``decision``/``policy_id`` carry the PDP verdict alongside the
+    transport outcome so served clients (and differential harnesses)
+    can compare access-control decisions without dereferencing handles.
+    """
 
     handle_uri: Optional[str]
     error_kind: Optional[str] = None   # "denied" | "nr" | "pr" | "concurrent"
     error_detail: Optional[str] = None
+    decision: Optional[str] = None     # Decision.value, when the PDP ran
+    policy_id: Optional[str] = None    # deciding policy, when permitted
 
     def payload_bytes(self) -> int:
         size = len((self.handle_uri or "").encode())

@@ -104,19 +104,26 @@ class DataServer:
 
     # -- request processing --------------------------------------------------------
 
-    def process(self, message: StreamRequestMessage):
+    def process(self, message: StreamRequestMessage, pdp_response=None):
         """Process one request; returns (response, :class:`ServerTiming`).
 
         All failures the PEP can signal are mapped onto error responses
         rather than exceptions — the entity at the other end of a socket
         only ever sees a response message.
+
+        *pdp_response* threads a decision evaluated out-of-band (e.g. on
+        the shard worker pool by an async front-end) into the PEP, which
+        then skips its own PDP call.
         """
         self.requests_processed += 1
         started = time.perf_counter()
         try:
-            result = self.instance.request_stream(message.request, message.user_query)
+            result = self.instance.request_stream(
+                message.request, message.user_query, pdp_response=pdp_response
+            )
         except AccessDeniedError as error:
-            return self._error_response("denied", str(error), started)
+            decision = getattr(error.decision, "value", None)
+            return self._error_response("denied", str(error), started, decision)
         except ConcurrentAccessError as error:
             return self._error_response("concurrent", str(error), started)
         except EmptyResultWarning as error:
@@ -136,10 +143,17 @@ class DataServer:
             dsms_submit=result.timings.dsms_submit + submit_network,
             compute_total=compute + submit_network,
         )
-        return StreamResponseMessage(handle_uri=result.handle.uri), timing
+        response = StreamResponseMessage(
+            handle_uri=result.handle.uri,
+            decision=result.response.decision.value,
+            policy_id=result.response.policy_id,
+        )
+        return response, timing
 
-    def _error_response(self, kind: str, detail: str, started: float):
+    def _error_response(
+        self, kind: str, detail: str, started: float, decision=None
+    ):
         compute = time.perf_counter() - started
         self.network.clock.advance(compute)
         timing = ServerTiming(0.0, compute, 0.0, compute)
-        return StreamResponseMessage(None, kind, detail), timing
+        return StreamResponseMessage(None, kind, detail, decision=decision), timing

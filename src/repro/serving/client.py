@@ -1,0 +1,142 @@
+"""Pipelined asyncio client for :class:`AsyncDataServer`.
+
+One connection, client-assigned sequence numbers, and two calling
+styles: :meth:`call` for one op at a time, :meth:`pipeline` to ship a
+whole batch before reading any reply (the server answers strictly in
+order, so replies are matched positionally and the echoed sequence
+numbers are verified as they come back).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import List, Optional, Sequence, Union
+
+from repro.core.user_query import UserQuery
+from repro.errors import TransportError
+from repro.serving.wire import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    EvaluateOp,
+    IngestOp,
+    LoadOp,
+    PingOp,
+    RevokeOp,
+    UpdateOp,
+    _HEADER,
+    decode_message,
+    encode_message,
+)
+from repro.xacml.policy import Policy
+from repro.xacml.request import Request
+from repro.xacml.xml_io import policy_to_xml, request_to_xml
+
+
+class AsyncClient:
+    """One served connection; create via :meth:`connect`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._seq = 0
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, rcvbuf: Optional[int] = None
+    ) -> "AsyncClient":
+        """Open a connection; *rcvbuf* shrinks the kernel receive buffer
+        (set before connecting) so backpressure tests control how many
+        response bytes the network path absorbs."""
+        if rcvbuf is None:
+            reader, writer = await asyncio.open_connection(host, port)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+            sock.setblocking(False)
+            await asyncio.get_running_loop().sock_connect(sock, (host, port))
+            reader, writer = await asyncio.open_connection(sock=sock)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    # -- raw op interface --------------------------------------------------------
+
+    def send_nowait(self, op) -> int:
+        """Buffer one op without flushing; returns its sequence number."""
+        seq = self._seq
+        self._seq += 1
+        self._writer.write(encode_message(seq, op))
+        return seq
+
+    async def call(self, op):
+        """Send one op and await its reply."""
+        return (await self.pipeline([op]))[0]
+
+    async def pipeline(self, ops: Sequence) -> List:
+        """Ship every op, then read every reply (in order)."""
+        seqs = [self.send_nowait(op) for op in ops]
+        await self._writer.drain()
+        return [await self._read_reply(expected) for expected in seqs]
+
+    async def _read_reply(self, expected_seq: int):
+        try:
+            header = await self._reader.readexactly(HEADER_BYTES)
+            (length,) = _HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(f"oversized reply frame ({length} bytes)")
+            payload = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise TransportError("server closed the connection") from error
+        seq, reply = decode_message(payload)
+        # seq -1 flags a reply to a frame the server could not decode;
+        # it still occupies this pipeline slot (replies are in order).
+        if seq not in (expected_seq, -1):
+            raise TransportError(
+                f"reply out of order: expected seq {expected_seq}, got {seq}"
+            )
+        return reply
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    async def evaluate(
+        self,
+        request: Union[Request, str],
+        user_query: Optional[Union[UserQuery, str]] = None,
+        decide_only: bool = False,
+    ):
+        if isinstance(request, Request):
+            request = request_to_xml(request)
+        if isinstance(user_query, UserQuery):
+            user_query = user_query.to_xml()
+        return await self.call(EvaluateOp(request, user_query, decide_only))
+
+    async def load(self, policy: Union[Policy, str]):
+        if isinstance(policy, Policy):
+            policy = policy_to_xml(policy)
+        return await self.call(LoadOp(policy))
+
+    async def update(self, policy: Union[Policy, str]):
+        if isinstance(policy, Policy):
+            policy = policy_to_xml(policy)
+        return await self.call(UpdateOp(policy))
+
+    async def revoke(self, policy_id: str):
+        return await self.call(RevokeOp(policy_id))
+
+    async def ingest(self, stream: str, records: Sequence[dict]):
+        return await self.call(IngestOp(stream, list(records)))
+
+    async def ping(self):
+        return await self.call(PingOp())

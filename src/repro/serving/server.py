@@ -1,0 +1,351 @@
+"""``asyncio``-based serving front-end over a real :class:`DataServer`.
+
+The paper's prototype serves clients over sockets (Section 4.1); this
+module puts a real TCP listener in front of the reproduction's data
+server.  Design:
+
+Connection anatomy
+    Each accepted connection runs two tasks.  The *reader* parses
+    length-prefixed frames and enqueues decoded operations onto a
+    bounded per-connection queue (the pipeline); the *responder* —
+    exactly one per connection — executes operations and writes replies
+    in arrival order, so a pipelined client never observes reordering
+    within its connection.
+
+Backpressure
+    Three mechanisms compose, each pausing the reader when saturated:
+    a global in-flight semaphore (``max_in_flight`` decoded-but-
+    unanswered operations across all connections), the bounded pipeline
+    queue (``pipeline_depth`` per connection), and the transport's
+    write-buffer high watermark — ``drain()`` in the responder blocks
+    once ``write_high_water`` bytes sit unsent, which keeps the queue
+    full, which pauses the reader.  ``read_pauses`` counts reader
+    stalls so tests can observe the watermark engaging.
+
+Execution
+    Operations run on the event-loop thread, which serializes them
+    exactly like the in-process :class:`DataServer` (whose engine and
+    registries are not thread-safe) — the differential harness relies
+    on this.  The one exception: when a :class:`ProcessShardPool` is
+    attached, PDP evaluation is shipped to the pool from an executor
+    thread (the pool is multi-driver safe) and the resulting decision
+    is threaded back into the PEP via the ``pdp_response`` seam.
+
+Failure containment
+    Payload-level garbage inside an intact frame produces an in-order
+    :class:`ErrorReply` and the connection lives on.  Framing-level
+    corruption (oversized length prefix, truncated frame) kills only
+    that connection.  A client vanishing mid-pipeline cancels its
+    responder and releases its in-flight permits; other connections
+    never notice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Optional, Set
+
+from repro.core.user_query import UserQuery
+from repro.errors import TransportError
+from repro.framework.messages import StreamRequestMessage
+from repro.framework.server import DataServer
+from repro.serving.stats import LatencyRecorder
+from repro.serving.wire import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    AckReply,
+    ErrorReply,
+    EvaluateOp,
+    EvaluateReply,
+    IngestOp,
+    LoadOp,
+    PingOp,
+    RevokeOp,
+    UpdateOp,
+    _HEADER,
+    decode_message,
+    encode_message,
+)
+from repro.xacml.response import Decision
+from repro.xacml.xml_io import parse_request_xml
+
+_CLOSE = object()
+
+
+class AsyncDataServer:
+    """TCP front-end: concurrent connections, pipelining, backpressure.
+
+    Use::
+
+        front = await AsyncDataServer(server).start()
+        ...
+        await front.aclose()
+
+    ``port=0`` (the default) binds an ephemeral loopback port; the
+    bound port is available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        server: DataServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 256,
+        pipeline_depth: int = 32,
+        write_high_water: int = 64 * 1024,
+        sndbuf: Optional[int] = None,
+        pool=None,
+    ):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.pipeline_depth = max(1, pipeline_depth)
+        self.write_high_water = write_high_water
+        #: Shrink the kernel send buffer (per accepted socket) so the
+        #: userspace write watermark — not ~200 KB of kernel buffering —
+        #: decides when backpressure engages.  Tests use this.
+        self.sndbuf = sndbuf
+        self.pool = pool
+        self.stats = LatencyRecorder()
+        self.connections_total = 0
+        self.active_connections = 0
+        #: Reader stalls: how often the pipeline queue or the in-flight
+        #: semaphore made the reader wait (the backpressure signal).
+        self.read_pauses = 0
+        #: Connections dropped for framing-level protocol violations.
+        self.protocol_errors = 0
+        self._in_flight = asyncio.Semaphore(max(1, max_in_flight))
+        self._asyncio_server: Optional[asyncio.base_events.Server] = None
+        self._connection_tasks: Set[asyncio.Task] = set()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> "AsyncDataServer":
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aenter__(self) -> "AsyncDataServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, then tear down every live connection."""
+        if self._asyncio_server is None:
+            return
+        self._asyncio_server.close()
+        await self._asyncio_server.wait_closed()
+        self._asyncio_server = None
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(*self._connection_tasks, return_exceptions=True)
+        self._connection_tasks.clear()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+        self.connections_total += 1
+        self.active_connections += 1
+        sock = writer.get_extra_info("socket")
+        if self.sndbuf is not None and sock is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, self.sndbuf)
+        writer.transport.set_write_buffer_limits(high=self.write_high_water)
+        queue: asyncio.Queue = asyncio.Queue(self.pipeline_depth)
+        responder = asyncio.create_task(self._respond_loop(queue, writer))
+        clean_eof = False
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(HEADER_BYTES)
+                except asyncio.IncompleteReadError as error:
+                    if error.partial:
+                        raise TransportError(
+                            "connection closed mid-frame (truncated header)"
+                        )
+                    clean_eof = True
+                    break
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise TransportError(
+                        f"declared frame length {length} exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte limit"
+                    )
+                try:
+                    payload = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    raise TransportError(
+                        "connection closed mid-frame (truncated body)"
+                    )
+                try:
+                    seq, message = decode_message(payload)
+                except TransportError as error:
+                    # An intact frame with a garbage payload: answer it
+                    # (in order, like any op) and keep serving.
+                    seq, message = -1, ErrorReply("TransportError", str(error))
+                await self._enqueue(queue, (seq, time.perf_counter(), message))
+        except (TransportError, ConnectionResetError, OSError):
+            self.protocol_errors += 1
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection; finish the
+            # teardown below and end the task cleanly (re-raising only
+            # trips asyncio's noisy connection-callback logging).
+            pass
+        finally:
+            try:
+                if clean_eof:
+                    # Let the responder flush the pipelined tail first.
+                    await queue.put(_CLOSE)
+                    try:
+                        await responder
+                    except Exception:
+                        pass
+                else:
+                    responder.cancel()
+                    try:
+                        await responder
+                    except (asyncio.CancelledError, Exception):
+                        pass
+                    # Permits of dropped (still-queued) items.
+                    while not queue.empty():
+                        if queue.get_nowait() is not _CLOSE:
+                            self._in_flight.release()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except Exception:
+                    pass
+            except asyncio.CancelledError:
+                # Cancelled mid-teardown (server shutdown): finish with
+                # the synchronous essentials and end cleanly.
+                responder.cancel()
+                writer.close()
+            finally:
+                self.active_connections -= 1
+
+    async def _enqueue(self, queue: asyncio.Queue, item) -> None:
+        """Admit one decoded op, pausing the reader when saturated."""
+        if self._in_flight.locked():
+            self.read_pauses += 1
+        await self._in_flight.acquire()
+        try:
+            if queue.full():
+                self.read_pauses += 1
+            await queue.put(item)
+        except BaseException:
+            self._in_flight.release()
+            raise
+
+    async def _respond_loop(self, queue: asyncio.Queue, writer) -> None:
+        """The single per-connection responder: strict arrival order.
+
+        Exits only on the close sentinel or cancellation — a peer that
+        stops reading breaks the *writes*, not the loop, so already-
+        pipelined operations still execute and release their permits
+        (and a full queue can never deadlock the reader's shutdown).
+        """
+        broken = False
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            seq, received, message = item
+            try:
+                if isinstance(message, ErrorReply):
+                    reply, op_name = message, None  # decode failure, pre-made
+                else:
+                    op_name = type(message).__name__
+                    reply = await self.execute(message)
+                if not broken:
+                    try:
+                        writer.write(encode_message(seq, reply))
+                        await writer.drain()
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:
+                        broken = True
+                if op_name is not None and not broken:
+                    self.stats.record(op_name, time.perf_counter() - received)
+            finally:
+                self._in_flight.release()
+
+    # -- operation execution -----------------------------------------------------
+
+    async def execute(self, message):
+        """Execute one decoded op; never raises — failures become
+        :class:`ErrorReply`, exactly what goes on the wire.  Public so
+        differential harnesses can replay served semantics in-process.
+        """
+        try:
+            return await self._execute(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            return ErrorReply(type(error).__name__, str(error))
+
+    async def _execute(self, message):
+        if isinstance(message, EvaluateOp):
+            return await self._evaluate(message)
+        if isinstance(message, (LoadOp, UpdateOp)):
+            apply = (
+                self.server.load_policy
+                if isinstance(message, LoadOp)
+                else self.server.update_policy
+            )
+            apply(message.policy_xml)
+            op = "load" if isinstance(message, LoadOp) else "update"
+            return AckReply(op)
+        if isinstance(message, RevokeOp):
+            self.server.remove_policy(message.policy_id)
+            return AckReply("revoke", detail=message.policy_id)
+        if isinstance(message, IngestOp):
+            count = self.server.instance.engine.push_batch(
+                message.stream, message.records
+            )
+            return AckReply("ingest", count=count)
+        if isinstance(message, PingOp):
+            return AckReply("ping")
+        return ErrorReply("TransportError", f"unserveable op {type(message).__name__}")
+
+    async def _evaluate(self, op: EvaluateOp):
+        request = parse_request_xml(op.request_xml)
+        pdp_response = None
+        if self.pool is not None:
+            # The pool is multi-driver: executor threads are drivers.
+            pdp_response = await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.evaluate, request
+            )
+        if op.decide_only:
+            response = (
+                pdp_response
+                if pdp_response is not None
+                else self.server.instance.pdp.evaluate(request)
+            )
+            return EvaluateReply(
+                ok=response.decision is Decision.PERMIT,
+                decision=response.decision.value,
+                policy_id=response.policy_id,
+            )
+        user_query = (
+            UserQuery.from_xml(op.user_query_xml) if op.user_query_xml else None
+        )
+        message = StreamRequestMessage(request, user_query)
+        response, _timing = self.server.process(message, pdp_response=pdp_response)
+        return EvaluateReply(
+            ok=response.ok,
+            handle_uri=response.handle_uri,
+            decision=response.decision,
+            policy_id=response.policy_id,
+            error_kind=response.error_kind,
+            error_detail=response.error_detail,
+        )

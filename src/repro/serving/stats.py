@@ -1,0 +1,80 @@
+"""Per-op latency percentiles for the serving front-end.
+
+The report follows the dbworkload run-table shape — one row per op
+type with throughput-free latency columns (mean / p50 / p90 / p99 /
+max, in milliseconds) — reusing the repository's canonical
+:func:`repro.framework.metrics.summarize` so served numbers and the
+simulation's EXPERIMENTS tables are computed identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.framework.metrics import DistributionSummary, summarize
+
+
+class LatencyRecorder:
+    """Accumulates per-op latency samples (seconds); reports percentiles.
+
+    Thread-safe: the asyncio server records from its event loop while
+    benchmarks snapshot from the driving thread.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, op: str, seconds: float) -> None:
+        with self._lock:
+            self._samples.setdefault(op, []).append(seconds)
+
+    def count(self, op: Optional[str] = None) -> int:
+        with self._lock:
+            if op is not None:
+                return len(self._samples.get(op, ()))
+            return sum(len(samples) for samples in self._samples.values())
+
+    @property
+    def ops(self) -> Sequence[str]:
+        with self._lock:
+            return sorted(self._samples)
+
+    def summary(self, op: str) -> DistributionSummary:
+        with self._lock:
+            samples = list(self._samples.get(op, ()))
+        return summarize(samples)
+
+    def snapshot(self) -> Dict[str, DistributionSummary]:
+        """Summaries of every op seen so far."""
+        return {op: self.summary(op) for op in self.ops}
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready percentiles in milliseconds (for ``BENCH_*.json``)."""
+        report: Dict[str, Dict[str, float]] = {}
+        for op, stats in self.snapshot().items():
+            report[op] = {
+                "count": stats.count,
+                "mean_ms": stats.mean * 1e3,
+                "p50_ms": stats.p50 * 1e3,
+                "p90_ms": stats.p90 * 1e3,
+                "p99_ms": stats.p99 * 1e3,
+                "max_ms": stats.maximum * 1e3,
+            }
+        return report
+
+    def table(self) -> str:
+        """The dbworkload-style run table."""
+        header = (
+            f"{'op':>12s} {'ops':>8s} {'mean(ms)':>10s} {'p50(ms)':>10s} "
+            f"{'p90(ms)':>10s} {'p99(ms)':>10s} {'max(ms)':>10s}"
+        )
+        lines = [header]
+        for op, stats in self.snapshot().items():
+            lines.append(
+                f"{op:>12s} {stats.count:>8d} {stats.mean * 1e3:>10.3f} "
+                f"{stats.p50 * 1e3:>10.3f} {stats.p90 * 1e3:>10.3f} "
+                f"{stats.p99 * 1e3:>10.3f} {stats.maximum * 1e3:>10.3f}"
+            )
+        return "\n".join(lines)

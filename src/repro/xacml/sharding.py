@@ -96,14 +96,31 @@ acknowledged its shard-local operation), so worker caches invalidate
 coherently; scatter requests are merged parent-side through the same
 cached single-flight path as the in-process engine.  The pool exists so
 ``benchmarks/bench_pdp_sharding.py`` can *measure* multi-core scale-out
-wall-clock instead of assuming it via the makespan model.  The pool is
-not thread-safe: drive it from one thread (each worker is internally
-serial, like a real one-process-per-shard deployment).
+wall-clock instead of assuming it via the makespan model, and so a
+concurrent serving front-end (:mod:`repro.serving`) can fan request
+work across cores.
+
+**Multi-driver protocol.**  The pool is safe to drive from many
+threads at once.  Every command a driver sends carries a *tag* —
+``(driver_id, sequence)``, where each driver thread is lazily assigned
+its own id — and every worker response echoes the tag of the command
+that produced it.  A single dispatcher thread per shard drains that
+shard's response queue and completes the matching
+:class:`_PendingCall`, so two drivers' interleaved batches can never
+be cross-matched: a response resolves exactly the call that registered
+its tag, and a response whose tag is no longer registered (its caller
+timed out and gave up) is dropped on the floor.  Each worker remains
+internally serial, like a real one-process-per-shard deployment;
+concurrency comes from interleaving *batches* of different drivers in
+the worker's command queue.  A worker failure *poisons* the pool:
+every pending call (of every driver) is failed promptly, and later
+calls raise immediately — better no pool than a silently wrong one.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as pyqueue
 import threading
 import zlib
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
@@ -877,12 +894,13 @@ def _shard_worker_main(
 ) -> None:
     """One shard's worker loop: a mirrored store + indexed/cached PDP.
 
-    Runs in a child process.  Commands arrive on *commands* as tuples
-    tagged by opcode; every command produces exactly one message on
-    *results* (except ``stop``), so the parent can match responses by
-    draining in FIFO order.  Mutations replay the parent's shard-level
-    feed, so the worker's store — and therefore its PDP's index and
-    decision cache — tracks the parent shard exactly.
+    Runs in a child process.  Every command (except ``stop``) is a tuple
+    ``(op, tag, *args)`` and produces exactly one message on *results* —
+    ``("result", tag, payload)`` or ``("error", tag, detail)`` — so the
+    parent's dispatcher can match responses to callers by tag no matter
+    how many driver threads interleave commands.  Mutations replay the
+    parent's shard-level feed, so the worker's store — and therefore its
+    PDP's index and decision cache — tracks the parent shard exactly.
     """
     store = PolicyStore()
     for policy, sequence in initial:
@@ -893,32 +911,54 @@ def _shard_worker_main(
         op = message[0]
         if op == "stop":
             break
+        tag = message[1]
         try:
             if op == "eval":
-                _, batch_id, requests = message
                 results.put(
-                    ("result", batch_id, [pdp.evaluate(r) for r in requests])
+                    ("result", tag, [pdp.evaluate(r) for r in message[2]])
                 )
             elif op == "load":
-                _, policy, sequence = message
+                _, _, policy, sequence = message
                 store.load(policy, sequence=sequence)
-                results.put(("ack", op, policy.policy_id))
+                results.put(("result", tag, policy.policy_id))
             elif op == "update":
-                store.update(message[1])
-                results.put(("ack", op, message[1].policy_id))
+                store.update(message[2])
+                results.put(("result", tag, message[2].policy_id))
             elif op == "remove":
-                store.remove(message[1])
-                results.put(("ack", op, message[1]))
+                store.remove(message[2])
+                results.put(("result", tag, message[2]))
             elif op == "flush":
                 pdp.flush_cache()
-                results.put(("ack", op, None))
+                results.put(("result", tag, None))
             elif op == "stats":
-                results.put(("stats", shard_id, pdp.cache_stats()))
+                results.put(("result", tag, pdp.cache_stats()))
             else:
-                results.put(("error", op, f"unknown opcode {op!r}"))
+                results.put(("error", tag, f"unknown opcode {op!r}"))
         except Exception as error:  # surface, don't kill the worker
-            tag = message[1] if op == "eval" else op
             results.put(("error", tag, f"{type(error).__name__}: {error}"))
+
+
+class _PendingCall:
+    """One tagged command awaiting its worker response."""
+
+    __slots__ = ("shard_id", "tag", "event", "value", "error")
+
+    def __init__(self, shard_id: int, tag: Tuple[int, int]):
+        self.shard_id = shard_id
+        self.tag = tag
+        self.event = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self, timeout: float):
+        """Block for the response; raises on worker error or timeout."""
+        if not self.event.wait(timeout):
+            raise PolicyStoreError(
+                f"shard worker {self.shard_id} did not respond"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.value
 
 
 class ProcessShardPool:
@@ -933,13 +973,22 @@ class ProcessShardPool:
     only after every affected worker acknowledged, so no later
     evaluation can observe a pre-mutation worker cache.
 
-    Not thread-safe (drive from one thread); use as a context manager
-    or call :meth:`close`.
+    Safe to drive from many threads at once (see *Multi-driver
+    protocol* in the module docstring): every command carries a
+    ``(driver_id, sequence)`` tag, one dispatcher thread per shard
+    routes responses back to the registered caller, and a worker
+    failure poisons the pool — every driver's pending call fails
+    promptly instead of deadlocking on a queue that will never fill.
+    Use as a context manager or call :meth:`close`.
     """
 
     #: Seconds to wait for any single worker response before declaring
     #: the worker dead.
     RESPONSE_TIMEOUT = 120.0
+
+    #: Dispatcher poll interval — the cadence at which a dispatcher
+    #: notices a stop request or a dead worker process.
+    POLL_INTERVAL = 0.1
 
     def __init__(
         self,
@@ -981,14 +1030,35 @@ class ProcessShardPool:
             self._results.append(results)
             self._processes.append(process)
         self.scatter = ScatterEvaluator(store, combining, scatter_cache_size)
-        store.add_shard_listener(self._on_shard_op)
         self.routed_evaluations = 0
         self.scatter_evaluations = 0
-        #: Monotonic over the pool's lifetime — batch tags are never
-        #: reused, so a response left behind by a failed call can never
-        #: be matched to a later call's batch.
-        self._next_batch_id = 0
+        self._counter_lock = threading.Lock()
+        #: Tag bookkeeping: commands in flight, keyed by their
+        #: (driver_id, sequence) tag; guarded by ``_pending_lock``.
+        self._pending: Dict[Tuple[int, int], _PendingCall] = {}
+        self._pending_lock = threading.Lock()
+        #: Per-thread driver identity (lazily assigned ids + sequence
+        #: counters) — the "per-driver batch tags" of the protocol.
+        self._local = threading.local()
+        self._driver_ids = 0
         self._closed = False
+        self._stopping = False
+        #: Set (with a reason) when a worker dies or errors in a way
+        #: that could leave a driver waiting forever; every later call
+        #: fails fast with this reason.
+        self._poisoned: Optional[str] = None
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(shard_id,),
+                daemon=True,
+                name=f"pdp-shard-dispatch-{shard_id}",
+            )
+            for shard_id in range(store.n_shards)
+        ]
+        for dispatcher in self._dispatchers:
+            dispatcher.start()
+        store.add_shard_listener(self._on_shard_op)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -999,12 +1069,20 @@ class ProcessShardPool:
         self.close()
 
     def close(self) -> None:
-        """Stop every worker and detach from the store (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop every worker and detach from the store (idempotent).
+
+        Pending calls of every driver are failed (never left hanging),
+        so concurrent drivers observe a closed pool as a prompt
+        :class:`~repro.errors.PolicyStoreError`, not a timeout.
+        """
+        with self._pending_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.store.remove_shard_listener(self._on_shard_op)
         self.scatter.detach()
+        self._fail_pending("the shard pool is closed")
+        self._stopping = True
         for commands in self._commands:
             try:
                 commands.put(("stop",))
@@ -1015,6 +1093,10 @@ class ProcessShardPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+        current = threading.current_thread()
+        for dispatcher in self._dispatchers:
+            if dispatcher is not current:
+                dispatcher.join(timeout=5.0)
         for queue in (*self._commands, *self._results):
             queue.close()
             # The queues die with the pool; don't let their feeder
@@ -1035,13 +1117,122 @@ class ProcessShardPool:
 
     # -- worker protocol --------------------------------------------------------
 
-    def _receive(self, shard_id: int):
-        message = self._results[shard_id].get(timeout=self.RESPONSE_TIMEOUT)
-        if message[0] == "error":
-            raise PolicyStoreError(
-                f"shard worker {shard_id} failed on {message[1]!r}: {message[2]}"
-            )
-        return message
+    def _driver_tag(self) -> Tuple[int, int]:
+        """The calling thread's next command tag.
+
+        Each driver thread gets its own id on first use and a private
+        monotonically increasing sequence, so tags are unique across the
+        pool's lifetime without any cross-driver coordination beyond the
+        one-time id assignment.
+        """
+        local = self._local
+        driver_id = getattr(local, "driver_id", None)
+        if driver_id is None:
+            with self._pending_lock:
+                driver_id = self._driver_ids
+                self._driver_ids += 1
+            local.driver_id = driver_id
+            local.sequence = 0
+        sequence = local.sequence
+        local.sequence = sequence + 1
+        return (driver_id, sequence)
+
+    @property
+    def drivers(self) -> int:
+        """Distinct driver threads that have issued commands so far."""
+        return self._driver_ids
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise PolicyStoreError("the shard pool is closed")
+        if self._poisoned is not None:
+            raise PolicyStoreError(f"the shard pool is poisoned: {self._poisoned}")
+
+    def _submit(self, shard_id: int, op: str, *args) -> _PendingCall:
+        """Register a pending call and ship its tagged command."""
+        tag = self._driver_tag()
+        call = _PendingCall(shard_id, tag)
+        with self._pending_lock:
+            self._check_usable()
+            self._pending[tag] = call
+        try:
+            self._commands[shard_id].put((op, tag, *args))
+        except BaseException:
+            with self._pending_lock:
+                self._pending.pop(tag, None)
+            raise
+        return call
+
+    def _await(self, call: _PendingCall):
+        """Wait out one pending call; a timed-out tag is unregistered so
+        the dispatcher drops its late response instead of completing a
+        call nobody is waiting on."""
+        try:
+            return call.wait(self.RESPONSE_TIMEOUT)
+        except PolicyStoreError:
+            with self._pending_lock:
+                self._pending.pop(call.tag, None)
+            raise
+
+    def _fail_pending(self, reason: str, shard_id: Optional[int] = None) -> None:
+        """Fail every pending call (optionally of one shard) promptly."""
+        with self._pending_lock:
+            if shard_id is None:
+                failed = list(self._pending.items())
+                self._pending.clear()
+            else:
+                failed = [
+                    item for item in self._pending.items()
+                    if item[1].shard_id == shard_id
+                ]
+                for tag, _ in failed:
+                    del self._pending[tag]
+        for _, call in failed:
+            call.error = PolicyStoreError(reason)
+            call.event.set()
+
+    def _poison(self, reason: str) -> None:
+        """Mark the pool unusable and drain every driver with *reason*."""
+        self._poisoned = reason
+        self._fail_pending(reason)
+
+    def _dispatch_loop(self, shard_id: int) -> None:
+        """One shard's dispatcher: route responses to their pending tag.
+
+        Also the pool's liveness monitor for that shard — a worker that
+        died without responding is detected within a poll interval and
+        poisons the pool, so no driver ever waits out the full response
+        timeout on a queue that cannot fill.
+        """
+        results = self._results[shard_id]
+        process = self._processes[shard_id]
+        while True:
+            try:
+                message = results.get(timeout=self.POLL_INTERVAL)
+            except pyqueue.Empty:
+                if self._stopping:
+                    return
+                if not process.is_alive() and not self._closed:
+                    self._poison(
+                        f"shard worker {shard_id} died "
+                        f"(exit code {process.exitcode})"
+                    )
+                    return
+                continue
+            except (OSError, ValueError, EOFError):
+                return  # queue torn down under us: the pool is closing
+            kind, tag, payload = message
+            with self._pending_lock:
+                call = self._pending.pop(tag, None)
+            if call is None:
+                continue  # caller gave up on this tag; drop the response
+            if kind == "error":
+                call.error = PolicyStoreError(
+                    f"shard worker {shard_id} failed on {tag!r}: {payload}"
+                )
+            else:
+                call.value = payload
+            call.event.set()
 
     def _on_shard_op(self, shard_id: int, op: str, payload, sequence) -> None:
         """Mirror one shard-level store operation into its worker.
@@ -1055,16 +1246,12 @@ class ProcessShardPool:
         """
         if self._closed:
             return
-        if op == "load":
-            self._commands[shard_id].put(("load", payload, sequence))
-        else:  # "update" carries the policy, "remove" the policy id
-            self._commands[shard_id].put((op, payload))
         try:
-            kind, *_ = self._receive(shard_id)
-            if kind != "ack":
-                raise PolicyStoreError(
-                    f"expected ack from shard worker {shard_id}, got {kind!r}"
-                )
+            if op == "load":
+                call = self._submit(shard_id, "load", payload, sequence)
+            else:  # "update" carries the policy, "remove" the policy id
+                call = self._submit(shard_id, op, payload)
+            self._await(call)
         except Exception:
             self.close()
             raise
@@ -1078,9 +1265,13 @@ class ProcessShardPool:
     def evaluate_many(self, requests: Sequence[Request]) -> List[Response]:
         """Evaluate a batch: routed requests fan out to the workers in
         per-shard chunks (workers run in parallel), scatter requests
-        merge parent-side while the workers chew."""
-        if self._closed:
-            raise PolicyStoreError("the shard pool is closed")
+        merge parent-side while the workers chew.
+
+        Callable from any number of driver threads concurrently; each
+        call only ever waits on (and is completed by) its own tagged
+        batches.
+        """
+        self._check_usable()
         responses: List[Optional[Response]] = [None] * len(requests)
         per_shard: List[List[int]] = [[] for _ in range(self.n_shards)]
         scatter_indices: List[int] = []
@@ -1093,65 +1284,55 @@ class ProcessShardPool:
         # Ship every chunk before collecting anything: queue puts are
         # asynchronous (feeder threads), so all workers start promptly
         # and evaluate while the parent handles the scatter share.
-        pending: Dict[int, Dict[int, List[int]]] = {}
+        in_flight: List[Tuple[_PendingCall, List[int]]] = []
         for shard_id, indices in enumerate(per_shard):
             for start in range(0, len(indices), self.batch_size):
                 chunk = indices[start:start + self.batch_size]
-                batch_id = self._next_batch_id
-                self._next_batch_id += 1
-                self._commands[shard_id].put(
-                    ("eval", batch_id, [requests[i] for i in chunk])
+                call = self._submit(
+                    shard_id, "eval", [requests[i] for i in chunk]
                 )
-                pending.setdefault(shard_id, {})[batch_id] = chunk
+                in_flight.append((call, chunk))
         for index in scatter_indices:
             responses[index] = self.scatter.evaluate(requests[index])
-        # Drain every expected response before surfacing any worker
-        # error: a partially-drained queue would leave stale results to
-        # be mis-matched by the next call (the unique batch tags are the
-        # backstop; full draining keeps the protocol clean outright).
+        # Collect every batch before surfacing any error, so one failed
+        # chunk never strands the others' results mid-protocol (late
+        # responses to an abandoned tag are dropped by the dispatcher).
         errors: List[str] = []
-        for shard_id, batches in pending.items():
-            for _ in range(len(batches)):
-                try:
-                    message = self._results[shard_id].get(
-                        timeout=self.RESPONSE_TIMEOUT
-                    )
-                except Exception:
-                    errors.append(f"shard worker {shard_id} did not respond")
-                    break
-                if message[0] == "error":
-                    errors.append(
-                        f"shard worker {shard_id} failed on batch "
-                        f"{message[1]!r}: {message[2]}"
-                    )
-                    continue
-                _, tag, payload = message
-                for index, response in zip(batches[tag], payload):
-                    responses[index] = response
+        for call, chunk in in_flight:
+            try:
+                payload = self._await(call)
+            except PolicyStoreError as error:
+                errors.append(str(error))
+                continue
+            for index, response in zip(chunk, payload):
+                responses[index] = response
         if errors:
             raise PolicyStoreError("; ".join(errors))
-        self.routed_evaluations += sum(len(indices) for indices in per_shard)
-        self.scatter_evaluations += len(scatter_indices)
+        with self._counter_lock:
+            self.routed_evaluations += sum(len(indices) for indices in per_shard)
+            self.scatter_evaluations += len(scatter_indices)
         return responses
 
     # -- monitoring -------------------------------------------------------------
 
     def flush_caches(self) -> None:
         """Cold-start every worker's decision cache and the scatter cache."""
-        for shard_id, commands in enumerate(self._commands):
-            commands.put(("flush",))
-        for shard_id in range(self.n_shards):
-            self._receive(shard_id)
+        calls = [
+            self._submit(shard_id, "flush")
+            for shard_id in range(self.n_shards)
+        ]
+        for call in calls:
+            self._await(call)
         self.scatter.flush()
 
     def cache_stats(self) -> dict:
         """A pure snapshot aggregated over the live workers (same shape
         as :meth:`ShardedPDP.cache_stats`)."""
-        for shard_id, commands in enumerate(self._commands):
-            commands.put(("stats",))
-        shard_stats = [
-            self._receive(shard_id)[2] for shard_id in range(self.n_shards)
+        calls = [
+            self._submit(shard_id, "stats")
+            for shard_id in range(self.n_shards)
         ]
+        shard_stats = [self._await(call) for call in calls]
         return _aggregate_cache_stats(
             shard_stats,
             self.scatter.stats(),

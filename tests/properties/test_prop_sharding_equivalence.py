@@ -605,7 +605,7 @@ class TestWorkerPoolParity:
         store.load(permit_policy("p", resource="weather0"))
         good = [Request.simple(f"u{i}", "weather0") for i in range(6)]
         with ProcessShardPool(store, batch_size=2) as pool:
-            with pytest.raises(PolicyStoreError, match="failed on batch"):
+            with pytest.raises(PolicyStoreError, match="failed on"):
                 pool.evaluate_many(good[:3] + [_BoomRequest.make("weather0")])
             responses = pool.evaluate_many(good)
             assert [r.policy_id for r in responses] == ["p"] * 6

@@ -1,0 +1,166 @@
+"""Backpressure, pipelining-order and cancellation tests for the
+serving front-end.
+
+The knobs make the effects observable at test scale: tiny kernel
+buffers (``sndbuf``/``rcvbuf``) so the network path absorbs only a few
+KB, a low write watermark so ``drain()`` blocks early, and a shallow
+pipeline queue so the reader pause (``read_pauses``) is the visible
+symptom of the responder being backed up.
+"""
+
+import asyncio
+
+from repro.serving import AsyncClient, AsyncDataServer
+from repro.serving.wire import EvaluateOp, PingOp
+from repro.xacml.request import Request
+from repro.xacml.xml_io import request_to_xml
+
+from serving_helpers import TIMEOUT, make_data_server
+
+
+def evaluate_op(subject="LTA", stream="weather", decide_only=True):
+    return EvaluateOp(
+        request_to_xml(Request.simple(subject, stream)), None, decide_only
+    )
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+class TestBackpressure:
+    def test_slow_reader_pauses_the_read_loop_at_the_watermark(self):
+        async def scenario():
+            server = make_data_server()
+            front = AsyncDataServer(
+                server,
+                pipeline_depth=4,
+                write_high_water=1024,
+                sndbuf=4096,
+                max_in_flight=1024,  # the queue, not the semaphore, pauses
+            )
+            async with front:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", front.port, rcvbuf=4096
+                )
+                async with client:
+                    # Pipeline far more responses than the kernel buffers
+                    # + watermark can absorb, without reading any.
+                    n = 400
+                    seqs = [client.send_nowait(evaluate_op()) for _ in range(n)]
+                    await client._writer.drain()
+                    # The responder's drain() must block, the pipeline
+                    # queue fill, and the reader stall.
+                    deadline = asyncio.get_running_loop().time() + TIMEOUT
+                    while front.read_pauses == 0:
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.01)
+                    # Releasing the reader (by reading) completes every
+                    # reply, in exact request order.
+                    replies = [await client._read_reply(seq) for seq in seqs]
+                    assert all(r.ok and r.policy_id == "p:LTA" for r in replies)
+            assert front.read_pauses > 0
+
+        run(scenario())
+
+    def test_in_flight_semaphore_pauses_the_reader(self):
+        async def scenario():
+            server = make_data_server()
+            front = AsyncDataServer(
+                server,
+                max_in_flight=2,
+                pipeline_depth=64,
+                write_high_water=1024,
+                sndbuf=4096,
+            )
+            async with front:
+                async with await AsyncClient.connect(
+                    "127.0.0.1", front.port, rcvbuf=4096
+                ) as client:
+                    seqs = [client.send_nowait(evaluate_op()) for _ in range(300)]
+                    await client._writer.drain()
+                    deadline = asyncio.get_running_loop().time() + TIMEOUT
+                    while front.read_pauses == 0:
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.01)
+                    replies = [await client._read_reply(seq) for seq in seqs]
+                    assert all(r.ok for r in replies)
+
+        run(scenario())
+
+
+class TestPipelineOrdering:
+    def test_no_response_reordering_within_a_connection(self):
+        async def scenario():
+            server = make_data_server()
+            async with AsyncDataServer(server) as front:
+                async with await AsyncClient.connect(
+                    "127.0.0.1", front.port
+                ) as client:
+                    # Alternate cheap pings with expensive registering
+                    # evaluates: any out-of-order completion would trip
+                    # the client's echoed-sequence check.
+                    ops = []
+                    for i in range(40):
+                        ops.append(
+                            PingOp() if i % 2 else evaluate_op(decide_only=False)
+                        )
+                    replies = await client.pipeline(ops)
+                    for i, reply in enumerate(replies):
+                        if i % 2:
+                            assert reply.op == "ping"
+                        else:
+                            assert reply.ok and reply.handle_uri is not None
+
+        run(scenario())
+
+
+class TestCancellationMidPipeline:
+    def test_aborted_client_leaves_other_connections_served(self):
+        async def scenario():
+            server = make_data_server(subjects=("LTA", "NEA"))
+            front = AsyncDataServer(server, max_in_flight=6)
+            async with front:
+                doomed = await AsyncClient.connect("127.0.0.1", front.port)
+                healthy = await AsyncClient.connect("127.0.0.1", front.port)
+                # Fill the pipeline, confirm the server is mid-stream
+                # (first reply back), then vanish without reading the
+                # rest.
+                seqs = [doomed.send_nowait(evaluate_op()) for _ in range(30)]
+                await doomed._writer.drain()
+                first = await doomed._read_reply(seqs[0])
+                assert first.ok
+                doomed._writer.transport.abort()
+                # The healthy connection must keep working — and must be
+                # able to push more ops than max_in_flight, proving the
+                # aborted pipeline's permits were all released.
+                async with healthy:
+                    replies = await healthy.pipeline(
+                        [evaluate_op("NEA") for _ in range(30)]
+                    )
+                    assert all(r.ok and r.policy_id == "p:NEA" for r in replies)
+                deadline = asyncio.get_running_loop().time() + TIMEOUT
+                while front.active_connections > 0:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.01)
+
+        run(scenario())
+
+    def test_server_close_with_live_pipelines_is_clean(self):
+        async def scenario():
+            server = make_data_server()
+            front = AsyncDataServer(server)
+            await front.start()
+            clients = [
+                await AsyncClient.connect("127.0.0.1", front.port)
+                for _ in range(3)
+            ]
+            for client in clients:
+                for _ in range(10):
+                    client.send_nowait(evaluate_op())
+                await client._writer.drain()
+            await front.aclose()  # must not hang or error
+            for client in clients:
+                await client.aclose()
+
+        run(scenario())
