@@ -13,6 +13,13 @@ Everything lands in ``BENCH_served_latency.json`` (folded into
 ``BENCH_trajectory.json`` by the aggregator; the pipelining speedup is
 the headline).  A decision-equivalence sample against the in-process
 PDP runs before anything is timed.
+
+A third phase (PR 7) measures supervised recovery: the same front-end
+over a 4-shard ``ProcessShardPool`` in ``on_unavailable="error"`` mode,
+with one worker SIGKILLed mid-run while retrying clients keep driving.
+Reported: recovery time (kill → first successful reply routed to the
+killed shard) and the p99 impact on client-observed evaluate latency
+(post-kill window vs pre-kill baseline).
 """
 
 import asyncio
@@ -27,12 +34,20 @@ from repro.core import stream_policy
 from repro.framework.network import SimulatedNetwork
 from repro.framework.server import DataServer
 from repro.serving import AsyncClient, AsyncDataServer
-from repro.serving.wire import EvaluateOp, IngestOp, LoadOp, RevokeOp, UpdateOp
+from repro.serving.wire import (
+    EvaluateOp,
+    EvaluateReply,
+    IngestOp,
+    LoadOp,
+    RevokeOp,
+    UpdateOp,
+)
 from repro.streams.engine import StreamEngine
 from repro.streams.graph import QueryGraph
 from repro.streams.operators import FilterOperator
 from repro.streams.schema import WEATHER_SCHEMA
 from repro.xacml.request import Request
+from repro.xacml.sharding import ProcessShardPool
 from repro.xacml.xml_io import policy_to_xml, request_to_xml
 
 N_CONNECTIONS = 8
@@ -42,6 +57,10 @@ N_STREAMS = 8
 SUBJECTS_PER_STREAM = 12
 INGEST_BATCH = 5
 N_PIPELINE_PROBE = 250              # per connection, each phase
+N_RECOVERY_SHARDS = 4
+N_RECOVERY_CONNECTIONS = 4
+RECOVERY_OPS = 400                  # per connection
+RECOVERY_WARMUP = 300               # completed ops before the kill
 SEED = 4_1_2012
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_served_latency.json"
@@ -62,7 +81,7 @@ def make_graph(stream: str, threshold: int = 5) -> QueryGraph:
     return QueryGraph(stream).append(FilterOperator(f"rainrate > {threshold}"))
 
 
-def make_server() -> DataServer:
+def make_server(pdp_shards=None) -> DataServer:
     network = SimulatedNetwork()
     engine = StreamEngine()
     for index in range(N_STREAMS):
@@ -72,6 +91,7 @@ def make_server() -> DataServer:
         engine=engine,
         enforce_single_access=False,
         allow_partial_results=True,
+        pdp_shards=pdp_shards,
     )
     for index in range(N_STREAMS):
         for j in range(SUBJECTS_PER_STREAM):
@@ -215,6 +235,94 @@ async def drive_evaluates(front: AsyncDataServer, pipelined: bool):
     return time.perf_counter() - started
 
 
+def p99_ms(samples):
+    ordered = sorted(samples)
+    return ordered[int(0.99 * (len(ordered) - 1))] * 1000.0
+
+
+async def run_recovery_benchmark():
+    """Kill one shard worker mid-run; measure recovery and p99 impact.
+
+    ``on_unavailable="error"`` is deliberate: fallback mode would hide
+    the outage entirely, so nothing could be measured.  The retrying
+    clients see retryable errors until the supervisor's rebuild
+    readmits the worker — recovery time is the kill-to-first-success
+    gap on a request pinned to the killed shard.
+    """
+    server = make_server(pdp_shards=N_RECOVERY_SHARDS)
+    store = server.instance.store
+    target_request = Request.simple("user0:0", stream_name(0))
+    (target_shard,) = store.shards_for_request(target_request)
+    target_op = EvaluateOp(request_to_xml(target_request), None, True)
+
+    latencies = {"pre": [], "post": []}
+    marks = {"killed_at": None, "recovered_at": None}
+    progress = {"completed": 0}
+    retry_kw = dict(max_retries=200, retry_base_delay=0.01, retry_max_delay=0.1)
+
+    with ProcessShardPool(
+        store, on_unavailable="error", restart_backoff=0.05
+    ) as pool:
+        async with AsyncDataServer(server, pool=pool, max_in_flight=512) as front:
+            loop = asyncio.get_running_loop()
+
+            async def driver(connection_id):
+                rng = random.Random((SEED, "recovery", connection_id).__hash__())
+                client = await AsyncClient.connect(
+                    "127.0.0.1", front.port, **retry_kw
+                )
+                async with client:
+                    for _ in range(RECOVERY_OPS):
+                        op = evaluate_op(rng)
+                        started = loop.time()
+                        reply = await client.call(op)
+                        elapsed = loop.time() - started
+                        assert isinstance(reply, EvaluateReply), reply
+                        window = "post" if marks["killed_at"] else "pre"
+                        latencies[window].append(elapsed)
+                        progress["completed"] += 1
+                    return client.retries_performed
+
+            async def assassin():
+                while progress["completed"] < RECOVERY_WARMUP:
+                    await asyncio.sleep(0.005)
+                client = await AsyncClient.connect(
+                    "127.0.0.1", front.port, **retry_kw
+                )
+                async with client:
+                    marks["killed_at"] = loop.time()
+                    pool.kill_worker(target_shard, reason="bench: mid-run kill")
+                    # One logical call whose retry loop rides through
+                    # detection, backoff, respawn and replay: its
+                    # completion IS the first post-kill success on the
+                    # killed shard.
+                    reply = await client.call(target_op)
+                    assert isinstance(reply, EvaluateReply) and reply.ok, reply
+                    marks["recovered_at"] = loop.time()
+                    return client.retries_performed
+
+            outcomes = await asyncio.gather(
+                assassin(),
+                *(driver(cid) for cid in range(N_RECOVERY_CONNECTIONS)),
+            )
+        health = pool.health()
+
+    return {
+        "model": "measured",
+        "shards": N_RECOVERY_SHARDS,
+        "connections": N_RECOVERY_CONNECTIONS,
+        "requests": progress["completed"],
+        "killed_shard": target_shard,
+        "recovery_seconds": marks["recovered_at"] - marks["killed_at"],
+        "p99_ms_pre_kill": p99_ms(latencies["pre"]),
+        "p99_ms_post_kill": p99_ms(latencies["post"]),
+        "p99_impact": p99_ms(latencies["post"]) / p99_ms(latencies["pre"]),
+        "client_retries": sum(outcomes),
+        "worker_restarts": health["worker_restarts"],
+        "degraded_shards": health["degraded_shards"],
+    }
+
+
 async def run_served_benchmark():
     server = make_server()
     scripts = [build_script(cid) for cid in range(N_CONNECTIONS)]
@@ -261,7 +369,9 @@ def test_served_latency_percentiles(benchmark):
     relaxed = bool(os.environ.get("BENCH_SMOKE_RELAXED"))
 
     def sweep():
-        return asyncio.run(run_served_benchmark())
+        results = asyncio.run(run_served_benchmark())
+        results["recovery"] = asyncio.run(run_recovery_benchmark())
+        return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     workload = results["workload"]
@@ -282,6 +392,17 @@ def test_served_latency_percentiles(benchmark):
         f"  pipelined       : {pipelining['pipelined_rps']:>10.0f} req/s "
         f"({pipelining['speedup_vs_serial']:.1f}x vs serial)"
     )
+    recovery = results["recovery"]
+    print(
+        f"  worker kill     : shard {recovery['killed_shard']} of "
+        f"{recovery['shards']}, recovered in "
+        f"{recovery['recovery_seconds'] * 1000:.0f} ms "
+        f"({recovery['worker_restarts']} restart(s), "
+        f"{recovery['client_retries']} client retries)\n"
+        f"  evaluate p99    : {recovery['p99_ms_pre_kill']:.2f} ms pre-kill, "
+        f"{recovery['p99_ms_post_kill']:.2f} ms post-kill "
+        f"({recovery['p99_impact']:.1f}x)"
+    )
     RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     # Acceptance: the ISSUE's floor — ≥10k requests over ≥8 connections
@@ -297,3 +418,14 @@ def test_served_latency_percentiles(benchmark):
         assert stats["p50_ms"] <= stats["p90_ms"] <= stats["p99_ms"] <= stats["max_ms"]
     floor = 1.0 if relaxed else 1.2
     assert pipelining["speedup_vs_serial"] >= floor
+    # Recovery gates: the kill really happened and really healed —
+    # without pool reconstruction and without exhausting the budget —
+    # and recovery stayed within the supervision design envelope
+    # (detection ≤ 0.1 s + backoff + respawn/replay; generous headroom
+    # on shared runners).  The p99 numbers are reported, not gated:
+    # client-observed latency through a retry loop is too noisy to
+    # gate on a shared runner.
+    assert recovery["worker_restarts"] >= 1
+    assert recovery["degraded_shards"] == []
+    assert recovery["client_retries"] >= 1
+    assert recovery["recovery_seconds"] < (30.0 if relaxed else 10.0)

@@ -112,6 +112,24 @@ class ObligationError(XacmlError):
     """An obligation block is malformed or uses an unknown vocabulary."""
 
 
+class ShardUnavailableError(PolicyStoreError):
+    """A shard's worker is down, restarting, or declared degraded.
+
+    Raised (or mapped onto a retryable wire error) instead of poisoning
+    the whole pool: only the affected shard's traffic fails, and
+    *retryable* tells callers whether a supervised restart is expected
+    (``True`` — retry with backoff) or the shard has exhausted its
+    restart budget and was declared degraded (``False``).
+    """
+
+    def __init__(self, shard_id, reason, retryable=True, degraded=False):
+        self.shard_id = shard_id
+        self.retryable = retryable
+        self.degraded = degraded
+        state = "degraded" if degraded else "unavailable"
+        super().__init__(f"shard {shard_id} is {state}: {reason}")
+
+
 # ---------------------------------------------------------------------------
 # eXACML+ core (repro.core)
 # ---------------------------------------------------------------------------
@@ -179,3 +197,14 @@ class FrameworkError(ReproError):
 
 class TransportError(FrameworkError):
     """A simulated network transfer failed (unknown endpoint, ...)."""
+
+
+class ClientTimeoutError(FrameworkError):
+    """A served call missed its per-call deadline.
+
+    Deliberately *not* a :class:`TransportError`: the transport may be
+    perfectly healthy while the server is merely slow or hung, and
+    callers need to tell the two apart (a timed-out mutation may or may
+    not have been applied, so it must not be blindly retried the way a
+    transport-level connection failure can be surfaced and re-dialled).
+    """

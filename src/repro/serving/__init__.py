@@ -12,13 +12,14 @@ of the same :class:`~repro.framework.server.DataServer`:
     per-connection pipelining, a bounded in-flight semaphore and
     write-buffer backpressure.
 ``client``
-    :class:`AsyncClient` — pipelined batches over one connection.
+    :class:`AsyncClient` — pipelined batches over one connection, with
+    per-call deadlines and retry/backoff on retryable errors.
 ``stats``
     :class:`LatencyRecorder` — per-op p50/p90/p99 in the dbworkload
     run-table shape.
 """
 
-from repro.serving.client import AsyncClient
+from repro.serving.client import RETRYABLE_OPS, AsyncClient
 from repro.serving.server import AsyncDataServer
 from repro.serving.stats import LatencyRecorder
 from repro.serving.wire import (
@@ -39,6 +40,7 @@ from repro.serving.wire import (
 )
 
 __all__ = [
+    "RETRYABLE_OPS",
     "AsyncClient",
     "AsyncDataServer",
     "LatencyRecorder",

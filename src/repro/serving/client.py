@@ -5,19 +5,41 @@ styles: :meth:`call` for one op at a time, :meth:`pipeline` to ship a
 whole batch before reading any reply (the server answers strictly in
 order, so replies are matched positionally and the echoed sequence
 numbers are verified as they come back).
+
+**Deadlines.**  Every :meth:`call`/:meth:`pipeline` carries a per-call
+deadline (``timeout=`` per call, :attr:`DEFAULT_TIMEOUT` otherwise); a
+call that misses it raises :class:`~repro.errors.ClientTimeoutError` —
+typed apart from :class:`~repro.errors.TransportError`, because the
+transport may be healthy while the server is merely hung, and a
+timed-out *mutation* may or may not have been applied.  A timeout also
+desynchronizes the connection: replies are matched positionally, so
+once a reply is abandoned mid-read every later slot would be off by
+one — the client marks itself broken and every later call fails fast
+with a :class:`TransportError` telling the caller to reconnect.
+
+**Retries.**  :meth:`call` retries an op only when *all three* hold:
+the server answered (so the positional protocol is still in sync) with
+an :class:`ErrorReply` marked ``retryable`` (a shard mid-restart, for
+instance), and the op is idempotent (:data:`RETRYABLE_OPS` — evaluate
+and ping).  Mutations are never auto-retried: a retryable refusal is
+surfaced for the caller to decide, and a timeout is ambiguous anyway.
+Backoff is exponential with full jitter, capped, and counted in
+:attr:`retries_performed` so tests can observe the policy engaging.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 from typing import List, Optional, Sequence, Union
 
 from repro.core.user_query import UserQuery
-from repro.errors import TransportError
+from repro.errors import ClientTimeoutError, TransportError
 from repro.serving.wire import (
     HEADER_BYTES,
     MAX_FRAME_BYTES,
+    ErrorReply,
     EvaluateOp,
     IngestOp,
     LoadOp,
@@ -32,22 +54,59 @@ from repro.xacml.policy import Policy
 from repro.xacml.request import Request
 from repro.xacml.xml_io import policy_to_xml, request_to_xml
 
+#: Ops that are safe to resend after a retryable server-side refusal:
+#: decide/ping have no server-side effects.  Mutations (load, update,
+#: revoke, ingest) are deliberately absent.
+RETRYABLE_OPS = (EvaluateOp, PingOp)
+
 
 class AsyncClient:
     """One served connection; create via :meth:`connect`."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    #: Per-call deadline applied when a call does not pass its own
+    #: ``timeout``.  ``None`` (or a non-positive value) waits forever —
+    #: the pre-PR-7 behaviour, opt-in only.
+    DEFAULT_TIMEOUT = 30.0
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        max_retries: int = 3,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._seq = 0
+        self._timeout = timeout
+        self.max_retries = max(0, max_retries)
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self._rng = rng if rng is not None else random.Random()
+        #: Set after a deadline miss: the positional reply protocol is
+        #: off by one from here on, so the connection refuses further
+        #: calls rather than mismatching replies.
+        self._desynced = False
+        #: Observability: retryable-error resends and deadline misses.
+        self.retries_performed = 0
+        self.timeouts = 0
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, rcvbuf: Optional[int] = None
+        cls,
+        host: str,
+        port: int,
+        rcvbuf: Optional[int] = None,
+        **kwargs,
     ) -> "AsyncClient":
         """Open a connection; *rcvbuf* shrinks the kernel receive buffer
         (set before connecting) so backpressure tests control how many
-        response bytes the network path absorbs."""
+        response bytes the network path absorbs.  Remaining keyword
+        arguments (``timeout``, ``max_retries``, ...) configure the
+        client."""
         if rcvbuf is None:
             reader, writer = await asyncio.open_connection(host, port)
         else:
@@ -56,7 +115,7 @@ class AsyncClient:
             sock.setblocking(False)
             await asyncio.get_running_loop().sock_connect(sock, (host, port))
             reader, writer = await asyncio.open_connection(sock=sock)
-        return cls(reader, writer)
+        return cls(reader, writer, **kwargs)
 
     async def __aenter__(self) -> "AsyncClient":
         return self
@@ -71,6 +130,43 @@ class AsyncClient:
         except Exception:
             pass
 
+    # -- deadlines ---------------------------------------------------------------
+
+    def _deadline(self, timeout: Optional[float]) -> Optional[float]:
+        """Absolute loop-time deadline for one call, or None."""
+        if timeout is None:
+            timeout = self._timeout
+        if timeout is None or timeout <= 0:
+            return None
+        return asyncio.get_running_loop().time() + timeout
+
+    async def _bounded(self, coroutine, deadline: Optional[float]):
+        """Run *coroutine* under the call deadline.
+
+        A miss abandons the awaited read mid-slot — the connection is
+        desynchronized from that point and marked unusable."""
+        if deadline is None:
+            return await coroutine
+        remaining = deadline - asyncio.get_running_loop().time()
+        try:
+            if remaining <= 0:
+                raise asyncio.TimeoutError
+            return await asyncio.wait_for(coroutine, remaining)
+        except asyncio.TimeoutError:
+            self._desynced = True
+            self.timeouts += 1
+            raise ClientTimeoutError(
+                "served call missed its deadline; the connection is "
+                "desynchronized — reconnect to continue"
+            ) from None
+
+    def _check_usable(self) -> None:
+        if self._desynced:
+            raise TransportError(
+                "connection desynchronized by an earlier timeout; "
+                "open a new connection"
+            )
+
     # -- raw op interface --------------------------------------------------------
 
     def send_nowait(self, op) -> int:
@@ -80,15 +176,46 @@ class AsyncClient:
         self._writer.write(encode_message(seq, op))
         return seq
 
-    async def call(self, op):
-        """Send one op and await its reply."""
-        return (await self.pipeline([op]))[0]
+    async def call(self, op, timeout: Optional[float] = None):
+        """Send one op and await its reply, with the retry policy.
 
-    async def pipeline(self, ops: Sequence) -> List:
-        """Ship every op, then read every reply (in order)."""
+        Retries (idempotent ops, retryable error replies only) resend
+        the op after an exponential full-jitter backoff; each attempt
+        gets its own per-call deadline.
+        """
+        attempt = 0
+        while True:
+            reply = (await self.pipeline([op], timeout=timeout))[0]
+            if not (
+                isinstance(reply, ErrorReply)
+                and reply.retryable
+                and isinstance(op, RETRYABLE_OPS)
+                and attempt < self.max_retries
+            ):
+                return reply
+            attempt += 1
+            self.retries_performed += 1
+            cap = min(
+                self.retry_base_delay * (2 ** (attempt - 1)),
+                self.retry_max_delay,
+            )
+            await asyncio.sleep(self._rng.uniform(0, cap))
+
+    async def pipeline(self, ops: Sequence, timeout: Optional[float] = None):
+        """Ship every op, then read every reply (in order).
+
+        One deadline covers the whole batch.  No automatic retries at
+        this level: a pipeline mixes op kinds, and partial resends
+        would reorder the batch semantics callers rely on.
+        """
+        self._check_usable()
+        deadline = self._deadline(timeout)
         seqs = [self.send_nowait(op) for op in ops]
-        await self._writer.drain()
-        return [await self._read_reply(expected) for expected in seqs]
+        await self._bounded(self._writer.drain(), deadline)
+        return [
+            await self._bounded(self._read_reply(expected), deadline)
+            for expected in seqs
+        ]
 
     async def _read_reply(self, expected_seq: int):
         try:
@@ -115,12 +242,15 @@ class AsyncClient:
         request: Union[Request, str],
         user_query: Optional[Union[UserQuery, str]] = None,
         decide_only: bool = False,
+        timeout: Optional[float] = None,
     ):
         if isinstance(request, Request):
             request = request_to_xml(request)
         if isinstance(user_query, UserQuery):
             user_query = user_query.to_xml()
-        return await self.call(EvaluateOp(request, user_query, decide_only))
+        return await self.call(
+            EvaluateOp(request, user_query, decide_only), timeout=timeout
+        )
 
     async def load(self, policy: Union[Policy, str]):
         if isinstance(policy, Policy):
@@ -138,5 +268,5 @@ class AsyncClient:
     async def ingest(self, stream: str, records: Sequence[dict]):
         return await self.call(IngestOp(stream, list(records)))
 
-    async def ping(self):
-        return await self.call(PingOp())
+    async def ping(self, timeout: Optional[float] = None):
+        return await self.call(PingOp(), timeout=timeout)

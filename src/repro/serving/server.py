@@ -48,7 +48,7 @@ import time
 from typing import Optional, Set
 
 from repro.core.user_query import UserQuery
-from repro.errors import TransportError
+from repro.errors import ShardUnavailableError, TransportError
 from repro.framework.messages import StreamRequestMessage
 from repro.framework.server import DataServer
 from repro.serving.stats import LatencyRecorder
@@ -290,6 +290,15 @@ class AsyncDataServer:
             return await self._execute(message)
         except asyncio.CancelledError:
             raise
+        except ShardUnavailableError as error:
+            # A dead/restarting shard is a transient, *retryable* fault
+            # (unless the shard was declared degraded): flag it so
+            # resilient clients back off and retry while the supervisor
+            # respawns the worker — the connection stays usable either
+            # way.
+            return ErrorReply(
+                type(error).__name__, str(error), retryable=error.retryable
+            )
         except Exception as error:
             return ErrorReply(type(error).__name__, str(error))
 

@@ -116,10 +116,18 @@ class AckReply:
 
 @dataclass(frozen=True)
 class ErrorReply:
-    """The operation failed; the connection stays usable."""
+    """The operation failed; the connection stays usable.
+
+    ``retryable`` distinguishes transient faults from fatal ones: the
+    server sets it for failures a later attempt can outrun (a shard
+    worker mid-restart, for instance), and resilient clients retry
+    *only* such replies — a fatal error (bad request, unknown policy,
+    degraded shard) retried forever would just burn the deadline.
+    """
 
     error_kind: str
     error_detail: str = ""
+    retryable: bool = False
 
 
 #: op-name → message class, both directions; the single source of truth

@@ -1,0 +1,26 @@
+"""Testing utilities shipped with the library.
+
+``faults``
+    Fault-injection harness for the robustness layer: scheduled worker
+    kills, invalidation-mirror chaos (delays/drops), wire-frame
+    garbling and reader stalls — the controlled failure modes the
+    chaos differential suite (``tests/chaos``) drives against the
+    supervised :class:`~repro.xacml.sharding.ProcessShardPool` and the
+    serving front-end.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    MirrorChaos,
+    WorkerKiller,
+    garble_payload,
+    stalled_pipeline,
+)
+
+__all__ = [
+    "FaultInjector",
+    "MirrorChaos",
+    "WorkerKiller",
+    "garble_payload",
+    "stalled_pipeline",
+]

@@ -112,20 +112,49 @@ its tag, and a response whose tag is no longer registered (its caller
 timed out and gave up) is dropped on the floor.  Each worker remains
 internally serial, like a real one-process-per-shard deployment;
 concurrency comes from interleaving *batches* of different drivers in
-the worker's command queue.  A worker failure *poisons* the pool:
-every pending call (of every driver) is failed promptly, and later
-calls raise immediately — better no pool than a silently wrong one.
+the worker's command queue.
+
+**Supervision and self-healing.**  A worker failure is *contained*,
+never pool-fatal (PR 6 poisoned the whole pool on any worker death;
+a serving stack cannot afford that).  The shard's dispatcher detects
+the dead process within a poll interval, fails only *that shard's*
+in-flight commands with a retryable
+:class:`~repro.errors.ShardUnavailableError`, and hands the shard to
+the supervisor, which — after an exponential restart backoff — rebuilds
+the worker from authoritative parent state: a consistent snapshot of
+the shard's :class:`PolicyStore` replica (policies *with their pinned
+global load sequences*) taken under the store's mutation lock, plus a
+catch-up replay of every shard-level operation that arrived while the
+worker was down or restarting.  Mutations therefore never block on a
+dead shard (they queue for catch-up and return), and the rebuilt
+worker is bit-identical to a worker that observed every event live —
+the chaos differential suite pins decisions *through* crashes.
+
+Restarts are budgeted: at most ``max_restarts`` within
+``restart_window`` seconds; a shard that exhausts the budget is
+declared **degraded** and stops being respawned (``revive()`` re-arms
+it).  While a shard is down, restarting, or degraded, its traffic
+follows the ``on_unavailable`` policy: ``"fallback"`` (the default)
+answers from a parent-side, cache-less indexed PDP over the same
+authoritative shard store — decision-identical, serialised behind the
+store's mutation lock — while ``"error"`` surfaces the typed
+:class:`~repro.errors.ShardUnavailableError` for clients to retry
+(``retryable=False`` once degraded).  Healthy shards never notice:
+their workers, dispatchers and caches are untouched by a neighbour's
+crash-restart cycle.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as pyqueue
 import threading
+import time
 import zlib
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import PolicyStoreError
+from repro.errors import PolicyStoreError, ShardUnavailableError
 from repro.xacml.attributes import RESOURCE_ID, SUBJECT_ID, AttributeCategory
 from repro.xacml.index import _category_keys
 from repro.xacml.pdp import (
@@ -138,6 +167,8 @@ from repro.xacml.policy import Policy
 from repro.xacml.request import Request
 from repro.xacml.response import Response
 from repro.xacml.store import ChangeListener, PolicyStore
+
+logger = logging.getLogger(__name__)
 
 
 def shard_of(key: str, n_shards: int) -> int:
@@ -343,6 +374,8 @@ class InvalidationBus:
         self._listeners: List[ChangeListener] = []
         #: Logical events published (for monitoring and tests).
         self.published = 0
+        #: Listener invocations that raised (contained, see publish).
+        self.listener_failures = 0
 
     def add_listener(self, listener: ChangeListener) -> None:
         self._listeners.append(listener)
@@ -360,9 +393,24 @@ class InvalidationBus:
     unsubscribe = remove_listener
 
     def publish(self, event: str, policy: Policy) -> None:
+        """Deliver one logical event to every subscriber.
+
+        Per-listener exceptions are contained: a raising subscriber is
+        logged and counted, and delivery continues to the remaining
+        subscribers — one broken observer (a half-torn-down proxy
+        cache, a buggy audit hook) must never leave the others with a
+        stale view of a mutation the store has already applied.
+        """
         self.published += 1
         for listener in list(self._listeners):
-            listener(event, policy)
+            try:
+                listener(event, policy)
+            except Exception:
+                self.listener_failures += 1
+                logger.exception(
+                    "invalidation listener %r failed on %r(%s); "
+                    "continuing delivery", listener, event, policy.policy_id,
+                )
 
 
 #: Shard-level observers: (shard_id, op, payload, sequence) with op in
@@ -584,6 +632,28 @@ class ShardedPolicyStore:
                     merged.setdefault(policy.policy_id, policy)
             sequence = self._sequence
             return sorted(merged.values(), key=lambda p: sequence[p.policy_id])
+
+    def snapshot_shard(
+        self, shard_id: int, and_then: Optional[Callable[[], None]] = None
+    ) -> List[Tuple[Policy, int]]:
+        """A consistent ``[(policy, pinned_sequence), ...]`` snapshot of
+        one shard replica, taken under the mutation lock.
+
+        The supervisor rebuilds a crashed worker from this.  *and_then*
+        (if given) runs under the same lock, after the snapshot is
+        built: because shard-level fan-out also runs under this lock,
+        no mirror operation can be in flight here, so a supervisor that
+        clears its catch-up queue in *and_then* is left with exactly
+        the operations *not* already reflected in the snapshot.
+        """
+        with self._mutation_lock:
+            snapshot = [
+                (policy, self._sequence[policy.policy_id])
+                for policy in self.shards[shard_id].policies()
+            ]
+            if and_then is not None:
+                and_then()
+            return snapshot
 
     def stats(self) -> Dict[str, object]:
         """Placement balance and bus counters, for monitoring and tests."""
@@ -961,8 +1031,53 @@ class _PendingCall:
         return self.value
 
 
+class _ShardRuntime:
+    """One shard's live worker generation, owned by the supervisor.
+
+    Every spawn gets *fresh* command/result queues and a fresh
+    dispatcher thread, so stale messages from a dead generation can
+    never be matched against the next one.  ``lock`` guards every
+    field; the pool's lock order is ``runtime.lock`` →
+    ``_pending_lock`` (never the reverse).
+    """
+
+    __slots__ = (
+        "shard_id", "process", "commands", "results", "dispatcher",
+        "status", "restarts", "restart_times", "catchup", "lock",
+        "last_error", "restart_thread",
+    )
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.process = None
+        self.commands = None
+        self.results = None
+        self.dispatcher: Optional[threading.Thread] = None
+        #: ``"up"`` | ``"down"`` | ``"restarting"`` | ``"degraded"``.
+        self.status = "up"
+        #: Completed (successful) restarts of this shard's worker.
+        self.restarts = 0
+        #: Monotonic stamps of restart attempts inside the budget window.
+        self.restart_times: List[float] = []
+        #: Shard ops that arrived while not ``up``: ``(op, payload,
+        #: sequence)`` in arrival order, replayed before readmission.
+        self.catchup: List[Tuple[str, object, Optional[int]]] = []
+        self.lock = threading.Lock()
+        self.last_error: Optional[str] = None
+        self.restart_thread: Optional[threading.Thread] = None
+
+
+#: Zeroed per-shard cache stats, stood in for a shard that is down —
+#: keeps :func:`_aggregate_cache_stats` totals well-defined while a
+#: worker (whose counters died with it) is being rebuilt.
+_ZERO_CACHE_STATS = {
+    "entries": 0, "hits": 0, "misses": 0, "invalidations": 0,
+    "full_flushes": 0, "targeted_evictions": 0,
+}
+
+
 class ProcessShardPool:
-    """Shard PDPs on real ``multiprocessing`` workers.
+    """Shard PDPs on real ``multiprocessing`` workers, supervised.
 
     One process per shard, each running the worker loop above; routed
     requests ship to the owning worker (batched through
@@ -970,16 +1085,24 @@ class ProcessShardPool:
     requests merge parent-side through the shared cached single-flight
     path.  Mutating the attached :class:`ShardedPolicyStore` fans the
     shard-level operations out synchronously — the mutation returns
-    only after every affected worker acknowledged, so no later
+    only after every affected *live* worker acknowledged, so no later
     evaluation can observe a pre-mutation worker cache.
 
     Safe to drive from many threads at once (see *Multi-driver
     protocol* in the module docstring): every command carries a
-    ``(driver_id, sequence)`` tag, one dispatcher thread per shard
-    routes responses back to the registered caller, and a worker
-    failure poisons the pool — every driver's pending call fails
-    promptly instead of deadlocking on a queue that will never fill.
-    Use as a context manager or call :meth:`close`.
+    ``(driver_id, sequence)`` tag and one dispatcher thread per worker
+    generation routes responses back to the registered caller.
+
+    A worker death is contained (see *Supervision and self-healing* in
+    the module docstring): only that shard's in-flight commands fail —
+    with :class:`~repro.errors.ShardUnavailableError`, retryable while
+    the supervisor still has restart budget — and the worker is
+    respawned from authoritative parent state.  While a shard is not
+    ``up``, its routed traffic follows ``on_unavailable``:
+    ``"fallback"`` answers decision-identically from a parent-side PDP
+    over the same shard store; ``"error"`` raises the typed error for
+    the caller (or a serving client) to retry.  Use as a context
+    manager or call :meth:`close`.
     """
 
     #: Seconds to wait for any single worker response before declaring
@@ -998,10 +1121,28 @@ class ProcessShardPool:
         scatter_cache_size: Optional[int] = None,
         batch_size: int = 256,
         start_method: Optional[str] = None,
+        max_restarts: int = 5,
+        restart_window: float = 60.0,
+        restart_backoff: float = 0.05,
+        restart_backoff_cap: float = 2.0,
+        on_unavailable: str = "fallback",
+        fault_injector=None,
     ):
+        if on_unavailable not in ("fallback", "error"):
+            raise PolicyStoreError(
+                f"on_unavailable must be 'fallback' or 'error', "
+                f"not {on_unavailable!r}"
+            )
         self.store = store
         self._combining = combining
+        self._cache_size = cache_size
         self.batch_size = max(1, batch_size)
+        self.max_restarts = max_restarts
+        self.restart_window = restart_window
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self.on_unavailable = on_unavailable
+        self._injector = fault_injector
         if scatter_cache_size is None:
             scatter_cache_size = cache_size
         if start_method is None:
@@ -1009,30 +1150,22 @@ class ProcessShardPool:
             # fork skips re-pickling the initial policy population and
             # is the cheapest start on the platforms CI runs on.
             start_method = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(start_method)
-        self._commands = []
-        self._results = []
-        self._processes = []
-        for shard_id, shard in enumerate(store.shards):
-            initial = [
-                (policy, store.sequence_of(policy.policy_id))
-                for policy in shard.policies()
-            ]
-            commands, results = ctx.Queue(), ctx.Queue()
-            process = ctx.Process(
-                target=_shard_worker_main,
-                args=(shard_id, combining, cache_size, initial, commands, results),
-                daemon=True,
-                name=f"pdp-shard-{shard_id}",
-            )
-            process.start()
-            self._commands.append(commands)
-            self._results.append(results)
-            self._processes.append(process)
+        self._ctx = multiprocessing.get_context(start_method)
         self.scatter = ScatterEvaluator(store, combining, scatter_cache_size)
         self.routed_evaluations = 0
         self.scatter_evaluations = 0
+        #: Requests answered by the parent-side fallback PDP while
+        #: their shard was unavailable (counted into *routed* too, so
+        #: ``evaluations == routed + scattered`` holds regardless).
+        self.fallback_evaluations = 0
+        #: Chunks refused with ShardUnavailableError (``"error"`` mode).
+        self.unavailable_errors = 0
+        #: Successful supervised worker restarts, pool-wide.
+        self.worker_restarts = 0
         self._counter_lock = threading.Lock()
+        #: Lazily-built cache-less fallback PDPs, one per shard.
+        self._fallbacks: Dict[int, PolicyDecisionPoint] = {}
+        self._fallback_lock = threading.Lock()
         #: Tag bookkeeping: commands in flight, keyed by their
         #: (driver_id, sequence) tag; guarded by ``_pending_lock``.
         self._pending: Dict[Tuple[int, int], _PendingCall] = {}
@@ -1043,21 +1176,13 @@ class ProcessShardPool:
         self._driver_ids = 0
         self._closed = False
         self._stopping = False
-        #: Set (with a reason) when a worker dies or errors in a way
-        #: that could leave a driver waiting forever; every later call
-        #: fails fast with this reason.
-        self._poisoned: Optional[str] = None
-        self._dispatchers = [
-            threading.Thread(
-                target=self._dispatch_loop,
-                args=(shard_id,),
-                daemon=True,
-                name=f"pdp-shard-dispatch-{shard_id}",
-            )
-            for shard_id in range(store.n_shards)
+        #: Set at close; interrupts any restart backoff sleep promptly.
+        self._shutdown = threading.Event()
+        self._runtimes = [
+            _ShardRuntime(shard_id) for shard_id in range(store.n_shards)
         ]
-        for dispatcher in self._dispatchers:
-            dispatcher.start()
+        for runtime in self._runtimes:
+            self._launch(runtime, store.snapshot_shard(runtime.shard_id))
         store.add_shard_listener(self._on_shard_op)
 
     # -- lifecycle --------------------------------------------------------------
@@ -1069,39 +1194,54 @@ class ProcessShardPool:
         self.close()
 
     def close(self) -> None:
-        """Stop every worker and detach from the store (idempotent).
+        """Stop every worker and detach from the store (idempotent,
+        safe under concurrent double-close).
 
         Pending calls of every driver are failed (never left hanging),
         so concurrent drivers observe a closed pool as a prompt
         :class:`~repro.errors.PolicyStoreError`, not a timeout.
+        Supervisor restart threads are interrupted mid-backoff and
+        joined; a worker respawned in the race window is terminated by
+        its own restart thread (which re-checks ``_closed`` after the
+        launch), so no process outlives the pool.
         """
         with self._pending_lock:
             if self._closed:
                 return
             self._closed = True
+        self._stopping = True
+        self._shutdown.set()
         self.store.remove_shard_listener(self._on_shard_op)
         self.scatter.detach()
         self._fail_pending("the shard pool is closed")
-        self._stopping = True
-        for commands in self._commands:
-            try:
-                commands.put(("stop",))
-            except (ValueError, OSError):
-                pass
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
         current = threading.current_thread()
-        for dispatcher in self._dispatchers:
-            if dispatcher is not current:
-                dispatcher.join(timeout=5.0)
-        for queue in (*self._commands, *self._results):
-            queue.close()
-            # The queues die with the pool; don't let their feeder
-            # threads block interpreter shutdown on unflushed buffers.
-            queue.cancel_join_thread()
+        for runtime in self._runtimes:
+            with runtime.lock:
+                commands, results = runtime.commands, runtime.results
+                process = runtime.process
+                dispatcher = runtime.dispatcher
+                restart_thread = runtime.restart_thread
+            if commands is not None:
+                try:
+                    commands.put(("stop",))
+                except (ValueError, OSError):
+                    pass
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            for thread in (dispatcher, restart_thread):
+                if thread is not None and thread is not current:
+                    thread.join(timeout=5.0)
+            for q in (commands, results):
+                if q is None:
+                    continue
+                q.close()
+                # The queues die with the pool; don't let their feeder
+                # threads block interpreter shutdown on unflushed
+                # buffers.
+                q.cancel_join_thread()
 
     @property
     def n_shards(self) -> int:
@@ -1114,6 +1254,256 @@ class ProcessShardPool:
     @property
     def evaluations(self) -> int:
         return self.routed_evaluations + self.scatter_evaluations
+
+    # -- worker lifecycle -------------------------------------------------------
+
+    def _launch(self, runtime: _ShardRuntime, initial) -> None:
+        """Spawn one worker generation: process, queues, dispatcher."""
+        commands, results = self._ctx.Queue(), self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                runtime.shard_id, self._combining, self._cache_size,
+                initial, commands, results,
+            ),
+            daemon=True,
+            name=f"pdp-shard-{runtime.shard_id}",
+        )
+        process.start()
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            args=(runtime, process, results),
+            daemon=True,
+            name=f"pdp-shard-dispatch-{runtime.shard_id}",
+        )
+        with runtime.lock:
+            runtime.process = process
+            runtime.commands = commands
+            runtime.results = results
+            runtime.dispatcher = dispatcher
+        dispatcher.start()
+
+    def _on_worker_death(self, runtime: _ShardRuntime, reason: str) -> None:
+        """A dispatcher noticed its generation's process is gone.
+
+        Fails only this shard's pending calls and (for a death out of
+        ``up``) schedules the supervised restart.  A death while
+        ``restarting`` — the fresh worker crashed during catch-up — is
+        observed by the restart thread through the failed catch-up
+        call, which reschedules itself; acting here too would race it.
+        """
+        with runtime.lock:
+            if self._closed or runtime.status not in ("up", "restarting"):
+                return
+            schedule = runtime.status == "up"
+            runtime.status = "down"
+            runtime.last_error = reason
+        logger.warning("shard %d worker died: %s", runtime.shard_id, reason)
+        self._fail_shard_pending(runtime.shard_id, reason)
+        if schedule:
+            self._schedule_restart(runtime)
+
+    def _schedule_restart(self, runtime: _ShardRuntime) -> None:
+        """Arm one restart attempt, or declare the shard degraded.
+
+        The budget is sliding-window: attempts older than
+        ``restart_window`` seconds no longer count.  Backoff doubles
+        per attempt within the window, capped at
+        ``restart_backoff_cap``.
+        """
+        now = time.monotonic()
+        with runtime.lock:
+            if self._closed or runtime.status != "down":
+                return
+            runtime.restart_times = [
+                stamp for stamp in runtime.restart_times
+                if now - stamp < self.restart_window
+            ]
+            if len(runtime.restart_times) >= self.max_restarts:
+                runtime.status = "degraded"
+                # The parent store is authoritative and the fallback
+                # reads it live; queued catch-up is obsolete the moment
+                # nothing will replay it.
+                runtime.catchup.clear()
+                runtime.restart_thread = None
+                degraded = True
+            else:
+                runtime.restart_times.append(now)
+                attempt = len(runtime.restart_times)
+                backoff = min(
+                    self.restart_backoff * (2 ** (attempt - 1)),
+                    self.restart_backoff_cap,
+                )
+                thread = threading.Thread(
+                    target=self._restart_worker,
+                    args=(runtime, backoff),
+                    daemon=True,
+                    name=f"pdp-shard-supervise-{runtime.shard_id}",
+                )
+                runtime.restart_thread = thread
+                degraded = False
+        if degraded:
+            logger.error(
+                "shard %d exhausted its restart budget (%d in %.1fs); "
+                "declared degraded (%s traffic policy)",
+                runtime.shard_id, self.max_restarts, self.restart_window,
+                self.on_unavailable,
+            )
+        else:
+            thread.start()
+
+    def _restart_worker(self, runtime: _ShardRuntime, backoff: float) -> None:
+        """One supervised restart attempt (runs on its own thread).
+
+        Backoff → consistent snapshot → fresh worker generation →
+        catch-up replay → readmission.  The snapshot and the switch to
+        ``restarting`` (which ends catch-up *queueing* for ops already
+        in the snapshot) happen atomically under the store's mutation
+        lock, so the snapshot plus the queued catch-up ops is exactly
+        the shard's authoritative history — nothing lost, nothing
+        applied twice.
+        """
+        if self._shutdown.wait(backoff) or self._closed:
+            return
+
+        def mark_restarting() -> None:
+            with runtime.lock:
+                runtime.catchup.clear()
+                runtime.status = "restarting"
+
+        try:
+            initial = self.store.snapshot_shard(
+                runtime.shard_id, and_then=mark_restarting
+            )
+        except Exception:
+            logger.exception(
+                "shard %d restart aborted: snapshot failed", runtime.shard_id
+            )
+            return
+        # The dead generation's queues go with it; late stale messages
+        # died with its dispatcher.
+        with runtime.lock:
+            stale = (runtime.commands, runtime.results)
+        for q in stale:
+            if q is None:
+                continue
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        try:
+            self._launch(runtime, initial)
+        except Exception as error:
+            with runtime.lock:
+                runtime.status = "down"
+                runtime.last_error = f"respawn failed: {error}"
+            self._schedule_restart(runtime)
+            return
+        if self._closed:
+            # Lost the race with close(): it may have joined the old
+            # process; this generation is ours to reap.
+            with runtime.lock:
+                process = runtime.process
+            try:
+                process.terminate()
+            except Exception:
+                pass
+            return
+        # Catch-up replay: drain ops that arrived while down, then
+        # readmit.  New ops may keep arriving (queued under the store
+        # mutation lock) while we drain — the loop runs until the queue
+        # is observed empty under the runtime lock.
+        while True:
+            with runtime.lock:
+                if self._closed:
+                    return
+                if runtime.status == "down":
+                    break  # the fresh worker died already
+                if not runtime.catchup:
+                    runtime.status = "up"
+                    runtime.restarts += 1
+                    with self._counter_lock:
+                        self.worker_restarts += 1
+                    logger.info(
+                        "shard %d worker restarted (%d policies replayed, "
+                        "restart #%d)",
+                        runtime.shard_id, len(initial), runtime.restarts,
+                    )
+                    return
+                op, payload, sequence = runtime.catchup.pop(0)
+            try:
+                if op == "load":
+                    call = self._submit(
+                        runtime.shard_id, "load", payload, sequence,
+                        during_restart=True,
+                    )
+                else:
+                    call = self._submit(
+                        runtime.shard_id, op, payload, during_restart=True
+                    )
+                self._await(call)
+            except ShardUnavailableError:
+                break  # died mid catch-up; status is already "down"
+            except PolicyStoreError as error:
+                if self._closed:
+                    return
+                # The fresh replica rejected an authoritative op: it
+                # cannot be trusted.  Kill this generation ourselves
+                # (status already "down" ⇒ its dispatcher won't
+                # double-schedule) and burn another budget slot.
+                with runtime.lock:
+                    runtime.status = "down"
+                    runtime.last_error = f"catch-up {op} failed: {error}"
+                    process = runtime.process
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+                break
+        self._schedule_restart(runtime)
+
+    def kill_worker(self, shard_id: int, reason: str = "killed") -> None:
+        """Terminate one shard's live worker process (chaos aid).
+
+        The supervisor observes the death within a poll interval and
+        handles restart/degradation exactly as for a spontaneous crash.
+        """
+        runtime = self._runtimes[shard_id]
+        with runtime.lock:
+            process = runtime.process
+        if process is not None:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def revive(self, shard_id: int) -> None:
+        """Re-arm a degraded shard: reset its budget and restart it.
+
+        The revive itself is one explicit restart attempt outside the
+        budget (so a ``max_restarts=0`` pool can still be revived by an
+        operator); if the revived worker dies again, the sliding-window
+        budget applies afresh.
+        """
+        runtime = self._runtimes[shard_id]
+        with runtime.lock:
+            if self._closed:
+                raise PolicyStoreError("the shard pool is closed")
+            if runtime.status != "degraded":
+                raise PolicyStoreError(
+                    f"shard {shard_id} is {runtime.status}, not degraded"
+                )
+            runtime.status = "down"
+            runtime.restart_times = []
+            thread = threading.Thread(
+                target=self._restart_worker,
+                args=(runtime, 0.0),
+                daemon=True,
+                name=f"pdp-shard-supervise-{shard_id}",
+            )
+            runtime.restart_thread = thread
+        thread.start()
 
     # -- worker protocol --------------------------------------------------------
 
@@ -1145,18 +1535,45 @@ class ProcessShardPool:
     def _check_usable(self) -> None:
         if self._closed:
             raise PolicyStoreError("the shard pool is closed")
-        if self._poisoned is not None:
-            raise PolicyStoreError(f"the shard pool is poisoned: {self._poisoned}")
 
-    def _submit(self, shard_id: int, op: str, *args) -> _PendingCall:
-        """Register a pending call and ship its tagged command."""
+    def _unavailable(self, runtime: _ShardRuntime) -> ShardUnavailableError:
+        """The typed error for *runtime*'s current (non-up) status.
+        Callers hold ``runtime.lock``."""
+        degraded = runtime.status == "degraded"
+        return ShardUnavailableError(
+            runtime.shard_id,
+            runtime.last_error or f"worker is {runtime.status}",
+            retryable=not degraded,
+            degraded=degraded,
+        )
+
+    def _submit(
+        self, shard_id: int, op: str, *args, during_restart: bool = False
+    ) -> _PendingCall:
+        """Register a pending call and ship its tagged command.
+
+        The admission check, pending registration and command-queue
+        capture happen atomically under the runtime lock, so a call
+        can never be registered against a generation whose death was
+        already handled: the death path flips ``status`` under the
+        same lock *before* failing that shard's pending calls.
+        """
+        runtime = self._runtimes[shard_id]
         tag = self._driver_tag()
         call = _PendingCall(shard_id, tag)
-        with self._pending_lock:
-            self._check_usable()
-            self._pending[tag] = call
+        with runtime.lock:
+            if self._closed:
+                raise PolicyStoreError("the shard pool is closed")
+            admissible = ("up", "restarting") if during_restart else ("up",)
+            if runtime.status not in admissible:
+                raise self._unavailable(runtime)
+            commands = runtime.commands
+            with self._pending_lock:
+                self._pending[tag] = call
+        if self._injector is not None:
+            self._injector.on_command(self, shard_id, op)
         try:
-            self._commands[shard_id].put((op, tag, *args))
+            commands.put((op, tag, *args))
         except BaseException:
             with self._pending_lock:
                 self._pending.pop(tag, None)
@@ -1174,53 +1591,56 @@ class ProcessShardPool:
                 self._pending.pop(call.tag, None)
             raise
 
-    def _fail_pending(self, reason: str, shard_id: Optional[int] = None) -> None:
-        """Fail every pending call (optionally of one shard) promptly."""
+    def _fail_pending(self, reason: str) -> None:
+        """Fail every driver's pending calls promptly (pool teardown)."""
         with self._pending_lock:
-            if shard_id is None:
-                failed = list(self._pending.items())
-                self._pending.clear()
-            else:
-                failed = [
-                    item for item in self._pending.items()
-                    if item[1].shard_id == shard_id
-                ]
-                for tag, _ in failed:
-                    del self._pending[tag]
+            failed = list(self._pending.items())
+            self._pending.clear()
         for _, call in failed:
             call.error = PolicyStoreError(reason)
             call.event.set()
 
-    def _poison(self, reason: str) -> None:
-        """Mark the pool unusable and drain every driver with *reason*."""
-        self._poisoned = reason
-        self._fail_pending(reason)
+    def _fail_shard_pending(self, shard_id: int, reason: str) -> None:
+        """Fail only *shard_id*'s pending calls, with the retryable
+        typed error — other shards' drivers are untouched."""
+        with self._pending_lock:
+            failed = [
+                item for item in self._pending.items()
+                if item[1].shard_id == shard_id
+            ]
+            for tag, _ in failed:
+                del self._pending[tag]
+        for _, call in failed:
+            call.error = ShardUnavailableError(shard_id, reason)
+            call.event.set()
 
-    def _dispatch_loop(self, shard_id: int) -> None:
-        """One shard's dispatcher: route responses to their pending tag.
+    def _dispatch_loop(self, runtime: _ShardRuntime, process, results) -> None:
+        """One worker generation's dispatcher: route responses to their
+        pending tag.
 
-        Also the pool's liveness monitor for that shard — a worker that
+        Also the liveness monitor for its generation — a worker that
         died without responding is detected within a poll interval and
-        poisons the pool, so no driver ever waits out the full response
-        timeout on a queue that cannot fill.
+        handed to the supervisor, so no driver ever waits out the full
+        response timeout on a queue that cannot fill.  The dispatcher
+        dies with its generation; the restart spawns a fresh one.
         """
-        results = self._results[shard_id]
-        process = self._processes[shard_id]
+        shard_id = runtime.shard_id
         while True:
             try:
                 message = results.get(timeout=self.POLL_INTERVAL)
             except pyqueue.Empty:
-                if self._stopping:
+                if self._stopping or self._closed:
                     return
-                if not process.is_alive() and not self._closed:
-                    self._poison(
+                if not process.is_alive():
+                    self._on_worker_death(
+                        runtime,
                         f"shard worker {shard_id} died "
-                        f"(exit code {process.exitcode})"
+                        f"(exit code {process.exitcode})",
                     )
                     return
                 continue
             except (OSError, ValueError, EOFError):
-                return  # queue torn down under us: the pool is closing
+                return  # queue torn down under us: generation replaced
             kind, tag, payload = message
             with self._pending_lock:
                 call = self._pending.pop(tag, None)
@@ -1237,30 +1657,78 @@ class ProcessShardPool:
     def _on_shard_op(self, shard_id: int, op: str, payload, sequence) -> None:
         """Mirror one shard-level store operation into its worker.
 
-        Any failure here (worker error, dead worker, timeout) poisons
-        the pool: it is closed before the error propagates, because a
-        worker that missed a mutation would serve stale decisions on
-        every later evaluation — better no pool than a wrong one.  The
-        store itself stays fully usable (it applied the mutation before
-        notifying, and the bus event still goes out).
+        Runs under the store's mutation lock.  A shard that is down or
+        restarting queues the op for catch-up replay and returns — a
+        mutation never blocks on (or fails because of) a dead shard; a
+        degraded shard drops it (the parent store stays authoritative
+        and the fallback reads it live).  A *live* worker that rejects
+        its mirrored op has a diverged replica and is killed — the
+        supervised rebuild from parent state is the repair.  The store
+        itself is never affected: it applied the mutation before
+        notifying, and the bus event still goes out.
         """
         if self._closed:
             return
+        if self._injector is not None:
+            action = self._injector.on_mirror(self, shard_id, op)
+            if action == "drop":
+                # A dropped mirror leaves the worker's replica
+                # unknowable; kill it and let supervision rebuild from
+                # post-mutation parent state.
+                self.kill_worker(
+                    shard_id, reason="mirror dropped by fault injection"
+                )
+                return
+        runtime = self._runtimes[shard_id]
+        with runtime.lock:
+            if runtime.status == "degraded":
+                return
+            if runtime.status != "up":
+                runtime.catchup.append((op, payload, sequence))
+                return
         try:
             if op == "load":
                 call = self._submit(shard_id, "load", payload, sequence)
             else:  # "update" carries the policy, "remove" the policy id
                 call = self._submit(shard_id, op, payload)
             self._await(call)
-        except Exception:
-            self.close()
-            raise
+        except ShardUnavailableError:
+            # The worker died under the mirror; harmless — the rebuild
+            # snapshots the store *after* this mutation was applied.
+            pass
+        except PolicyStoreError as error:
+            if self._closed:
+                return
+            self.kill_worker(
+                shard_id, reason=f"worker rejected mirrored {op}: {error}"
+            )
 
     # -- evaluation -------------------------------------------------------------
 
     def evaluate(self, request: Request) -> Response:
         """Evaluate one request (round-trips to the owning worker)."""
         return self.evaluate_many([request])[0]
+
+    def _evaluate_fallback(self, shard_id: int, chunk: List[Request]):
+        """Answer a down shard's requests from the authoritative parent
+        replica — decision-identical to the worker (same store, same
+        index discipline, same combining), serialised behind the
+        store's mutation lock so candidate selection never races a
+        mutation.  Cache-less on purpose: no listener registration, no
+        shared mutable cache state, safe from any driver thread."""
+        with self._fallback_lock:
+            pdp = self._fallbacks.get(shard_id)
+            if pdp is None:
+                pdp = PolicyDecisionPoint(
+                    self.store.shards[shard_id], self._combining,
+                    use_index=True, cache_size=0,
+                )
+                self._fallbacks[shard_id] = pdp
+        with self.store._mutation_lock:
+            responses = [pdp.evaluate(request) for request in chunk]
+        with self._counter_lock:
+            self.fallback_evaluations += len(chunk)
+        return responses
 
     def evaluate_many(self, requests: Sequence[Request]) -> List[Response]:
         """Evaluate a batch: routed requests fan out to the workers in
@@ -1269,7 +1737,12 @@ class ProcessShardPool:
 
         Callable from any number of driver threads concurrently; each
         call only ever waits on (and is completed by) its own tagged
-        batches.
+        batches.  Chunks whose shard is unavailable — refused at
+        submission or failed by a mid-flight worker death — follow the
+        ``on_unavailable`` policy: answered by the parent-side fallback
+        PDP, or surfaced as one ShardUnavailableError after every other
+        chunk has been collected (never stranding results
+        mid-protocol).
         """
         self._check_usable()
         responses: List[Optional[Response]] = [None] * len(requests)
@@ -1285,13 +1758,18 @@ class ProcessShardPool:
         # asynchronous (feeder threads), so all workers start promptly
         # and evaluate while the parent handles the scatter share.
         in_flight: List[Tuple[_PendingCall, List[int]]] = []
+        unavailable: List[Tuple[int, List[int], ShardUnavailableError]] = []
         for shard_id, indices in enumerate(per_shard):
             for start in range(0, len(indices), self.batch_size):
                 chunk = indices[start:start + self.batch_size]
-                call = self._submit(
-                    shard_id, "eval", [requests[i] for i in chunk]
-                )
-                in_flight.append((call, chunk))
+                try:
+                    call = self._submit(
+                        shard_id, "eval", [requests[i] for i in chunk]
+                    )
+                except ShardUnavailableError as error:
+                    unavailable.append((shard_id, chunk, error))
+                else:
+                    in_flight.append((call, chunk))
         for index in scatter_indices:
             responses[index] = self.scatter.evaluate(requests[index])
         # Collect every batch before surfacing any error, so one failed
@@ -1301,13 +1779,31 @@ class ProcessShardPool:
         for call, chunk in in_flight:
             try:
                 payload = self._await(call)
+            except ShardUnavailableError as error:
+                unavailable.append((call.shard_id, chunk, error))
+                continue
             except PolicyStoreError as error:
                 errors.append(str(error))
                 continue
             for index, response in zip(chunk, payload):
                 responses[index] = response
+        refusal: Optional[ShardUnavailableError] = None
+        for shard_id, chunk, error in unavailable:
+            if self.on_unavailable == "fallback":
+                fallback = self._evaluate_fallback(
+                    shard_id, [requests[i] for i in chunk]
+                )
+                for index, response in zip(chunk, fallback):
+                    responses[index] = response
+            else:
+                with self._counter_lock:
+                    self.unavailable_errors += 1
+                if refusal is None:
+                    refusal = error
         if errors:
             raise PolicyStoreError("; ".join(errors))
+        if refusal is not None:
+            raise refusal
         with self._counter_lock:
             self.routed_evaluations += sum(len(indices) for indices in per_shard)
             self.scatter_evaluations += len(scatter_indices)
@@ -1315,31 +1811,95 @@ class ProcessShardPool:
 
     # -- monitoring -------------------------------------------------------------
 
+    def health(self) -> dict:
+        """A pure snapshot of supervision state, per shard and pooled."""
+        shards = []
+        for runtime in self._runtimes:
+            with runtime.lock:
+                shards.append({
+                    "shard_id": runtime.shard_id,
+                    "status": runtime.status,
+                    "restarts": runtime.restarts,
+                    "catchup_pending": len(runtime.catchup),
+                    "last_error": runtime.last_error,
+                })
+        with self._counter_lock:
+            worker_restarts = self.worker_restarts
+            fallback_evaluations = self.fallback_evaluations
+            unavailable_errors = self.unavailable_errors
+        return {
+            "closed": self._closed,
+            "on_unavailable": self.on_unavailable,
+            "shards": shards,
+            "statuses": [entry["status"] for entry in shards],
+            "degraded_shards": [
+                entry["shard_id"] for entry in shards
+                if entry["status"] == "degraded"
+            ],
+            "worker_restarts": worker_restarts,
+            "fallback_evaluations": fallback_evaluations,
+            "unavailable_errors": unavailable_errors,
+        }
+
     def flush_caches(self) -> None:
-        """Cold-start every worker's decision cache and the scatter cache."""
-        calls = [
-            self._submit(shard_id, "flush")
-            for shard_id in range(self.n_shards)
-        ]
+        """Cold-start every live worker's decision cache and the
+        scatter cache.  A down shard is skipped — its next generation
+        starts cache-cold by construction."""
+        calls = []
+        for shard_id in range(self.n_shards):
+            try:
+                calls.append(self._submit(shard_id, "flush"))
+            except ShardUnavailableError:
+                continue
         for call in calls:
-            self._await(call)
+            try:
+                self._await(call)
+            except ShardUnavailableError:
+                pass
         self.scatter.flush()
 
     def cache_stats(self) -> dict:
         """A pure snapshot aggregated over the live workers (same shape
-        as :meth:`ShardedPDP.cache_stats`)."""
-        calls = [
-            self._submit(shard_id, "stats")
-            for shard_id in range(self.n_shards)
-        ]
-        shard_stats = [self._await(call) for call in calls]
-        return _aggregate_cache_stats(
+        as :meth:`ShardedPDP.cache_stats`, plus robustness counters).
+
+        A down/degraded shard contributes zeros — its worker's counters
+        died with it — and is counted in ``shards_unavailable``.
+        """
+        calls: List[Optional[_PendingCall]] = []
+        for shard_id in range(self.n_shards):
+            try:
+                calls.append(self._submit(shard_id, "stats"))
+            except ShardUnavailableError:
+                calls.append(None)
+        shard_stats = []
+        shards_unavailable = 0
+        for call in calls:
+            if call is None:
+                shards_unavailable += 1
+                shard_stats.append(dict(_ZERO_CACHE_STATS))
+                continue
+            try:
+                shard_stats.append(self._await(call))
+            except ShardUnavailableError:
+                shards_unavailable += 1
+                shard_stats.append(dict(_ZERO_CACHE_STATS))
+        totals = _aggregate_cache_stats(
             shard_stats,
             self.scatter.stats(),
             self.routed_evaluations,
             self.scatter_evaluations,
         )
+        with self._counter_lock:
+            totals["worker_restarts"] = self.worker_restarts
+            totals["fallback_evaluations"] = self.fallback_evaluations
+            totals["unavailable_errors"] = self.unavailable_errors
+        totals["shards_unavailable"] = shards_unavailable
+        return totals
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "live"
-        return f"ProcessShardPool(shards={self.n_shards}, {state})"
+        if self._closed:
+            return f"ProcessShardPool(shards={self.n_shards}, closed)"
+        statuses = ",".join(
+            runtime.status for runtime in self._runtimes
+        )
+        return f"ProcessShardPool(shards={self.n_shards}, [{statuses}])"

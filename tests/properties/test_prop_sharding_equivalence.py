@@ -23,6 +23,8 @@ resource-less requests (the wildcard-only route under resource keys,
 the routed fast path under subject keys).
 """
 
+import time
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -610,23 +612,35 @@ class TestWorkerPoolParity:
             responses = pool.evaluate_many(good)
             assert [r.policy_id for r in responses] == ["p"] * 6
 
-    def test_failed_mutation_fanout_poisons_the_pool_not_the_store(self):
+    def test_rejected_mutation_fanout_heals_the_worker_not_the_pool(self):
+        # A worker that rejects its mirrored op has a diverged replica.
+        # PR 6 poisoned the whole pool; supervision instead kills just
+        # that worker and rebuilds it from authoritative parent state —
+        # the pool object stays usable throughout, no reconstruction.
         store = ShardedPolicyStore(2)
         store.load(permit_policy("p", resource="weather0"))
-        pool = ProcessShardPool(store)
-        try:
+        request = Request.simple("alice", "weather0")
+        with ProcessShardPool(store, restart_backoff=0.01) as pool:
             # Drive the shard listener with an op the worker must
-            # reject (its mirrored store has no such policy).
-            with pytest.raises(PolicyStoreError):
-                pool._on_shard_op(0, "remove", "no-such-policy", None)
-            assert pool._closed
-            with pytest.raises(PolicyStoreError):
-                pool.evaluate(Request.simple("alice", "weather0"))
-            # The store itself stays consistent and fully usable.
+            # reject (its mirrored store has no such policy).  The
+            # fan-out must not raise: the store already applied its
+            # side, and the worker repair is supervision's job.
+            pool._on_shard_op(0, "remove", "no-such-policy", None)
+            assert not pool._closed
+            deadline = time.perf_counter() + 15.0
+            while (
+                pool.health()["worker_restarts"] < 1
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+            assert pool.health()["worker_restarts"] >= 1
+            # The same pool serves correct decisions again (fallback
+            # covers any residual restart window), and the store stayed
+            # consistent and fully usable.
+            assert pool.evaluate(request).policy_id == "p"
             store.load(permit_policy("q", resource="weather1"))
             assert "q" in store and "p" in store
-        finally:
-            pool.close()
+            assert pool.evaluate(request).policy_id == "p"
 
     def test_sharded_pdp_rejects_partitioner_with_existing_store(self):
         store = ShardedPolicyStore(2)

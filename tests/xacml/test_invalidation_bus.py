@@ -1,0 +1,84 @@
+"""Regression pins for :class:`InvalidationBus` delivery containment.
+
+PR 7 regression: one raising listener used to abort ``publish``
+mid-loop, so listeners subscribed *after* the broken one never saw the
+event — a proxy handle cache or scatter decision cache silently kept a
+stale view of a mutation the store had already applied.  Delivery must
+continue past a raising subscriber, the failure must be counted (and
+logged), and the mutation path must never see the exception.
+"""
+
+import logging
+
+import pytest
+
+from repro.xacml.policy import Policy, Rule, Target
+from repro.xacml.response import Effect
+from repro.xacml.sharding import InvalidationBus, ShardedPolicyStore
+
+
+def permit_policy(policy_id, resource="weather"):
+    return Policy(
+        policy_id,
+        target=Target.for_ids(resource=resource),
+        rules=[Rule(f"{policy_id}:r", Effect.PERMIT)],
+    )
+
+
+class TestPublishContainment:
+    def test_raising_listener_does_not_abort_delivery(self):
+        bus = InvalidationBus()
+        seen_before, seen_after = [], []
+
+        def before(event, policy):
+            seen_before.append((event, policy.policy_id))
+
+        def broken(event, policy):
+            raise RuntimeError("half-torn-down observer")
+
+        def after(event, policy):
+            seen_after.append((event, policy.policy_id))
+
+        bus.add_listener(before)
+        bus.add_listener(broken)
+        bus.add_listener(after)
+        bus.publish("loaded", permit_policy("p"))
+        # Both healthy listeners saw the event — including the one
+        # subscribed after the broken one.
+        assert seen_before == [("loaded", "p")]
+        assert seen_after == [("loaded", "p")]
+        assert bus.listener_failures == 1
+        assert bus.published == 1
+        # The bus keeps working: later publishes deliver (and keep
+        # counting the still-broken subscriber).
+        bus.publish("removed", permit_policy("p"))
+        assert seen_after[-1] == ("removed", "p")
+        assert bus.listener_failures == 2
+
+    def test_failures_are_logged_not_raised(self, caplog):
+        bus = InvalidationBus()
+        bus.add_listener(lambda event, policy: (_ for _ in ()).throw(ValueError()))
+        with caplog.at_level(logging.ERROR, logger="repro.xacml.sharding"):
+            bus.publish("updated", permit_policy("p"))
+        assert bus.listener_failures == 1
+        assert any(
+            "invalidation listener" in record.message for record in caplog.records
+        )
+
+    def test_store_mutation_survives_a_raising_bus_subscriber(self):
+        # End to end: a broken bus subscriber must not fail (or roll
+        # back) the logical mutation, and the sharded store's other
+        # observers stay coherent.
+        store = ShardedPolicyStore(2)
+        events = []
+        store.bus.add_listener(
+            lambda event, policy: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        store.bus.add_listener(
+            lambda event, policy: events.append((event, policy.policy_id))
+        )
+        store.load(permit_policy("p"))
+        store.remove("p")
+        assert events == [("loaded", "p"), ("removed", "p")]
+        assert store.bus.listener_failures == 2
+        assert "p" not in store

@@ -1,20 +1,27 @@
-"""Multi-driver regression pins for :class:`ProcessShardPool` (PR 6).
+"""Multi-driver regression pins for :class:`ProcessShardPool` (PR 6–7).
 
 PR 5 shipped the pool single-driver: one FIFO of batch ids per shard,
 so a second thread's responses could complete the first thread's
 batches.  The tagged protocol replaces that — every command carries a
-``(driver_id, sequence)`` tag, one dispatcher per shard routes
-responses by tag, and worker failure poisons the pool so every driver
-drains promptly.  These tests pin exactly those guarantees:
+``(driver_id, sequence)`` tag and one dispatcher per worker generation
+routes responses by tag.  PR 7 replaces poison-on-death with
+supervision: a worker failure is contained to its shard, retried
+against a budget, and degraded (never pool-fatal) once the budget is
+exhausted.  These tests pin exactly those guarantees:
 
 - two concurrent drivers with *distinct expected decisions*, under
   interleaved invalidation fan-out, never observe each other's
   responses (tag leakage would surface as a wrong policy id);
 - ``close()`` during concurrent driving fails both drivers with a
-  prompt :class:`PolicyStoreError` — no hang, no stranded thread;
-- a killed worker process poisons the pool: blocked drivers wake with
-  an error within the dispatcher's poll interval and later calls fail
-  fast.
+  prompt :class:`PolicyStoreError` — no hang, no stranded thread —
+  and is idempotent, including under concurrent double-close;
+- a killed worker fails only its own shard's traffic (typed,
+  retryable :class:`ShardUnavailableError`, raised promptly — never by
+  waiting out the response timeout), recovers automatically without
+  pool reconstruction, and in ``"fallback"`` mode is invisible to
+  drivers entirely;
+- exhausting the restart budget degrades only the dead shard; healthy
+  shards keep serving, and ``revive()`` re-arms the degraded one.
 """
 
 import threading
@@ -22,7 +29,7 @@ import time
 
 import pytest
 
-from repro.errors import PolicyStoreError
+from repro.errors import PolicyStoreError, ShardUnavailableError
 from repro.xacml.policy import Policy, Rule, Target
 from repro.xacml.request import Request
 from repro.xacml.response import Effect
@@ -45,6 +52,33 @@ def make_store():
     store.load(permit_policy("p:alpha", "alpha-stream"))
     store.load(permit_policy("p:beta", "beta-stream"))
     return store
+
+
+def shard_of_resource(store, resource):
+    (shard_id,) = store.shards_for_request(Request.simple("u", resource))
+    return shard_id
+
+
+def wait_for_status(pool, shard_id, status, timeout=15.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if pool.health()["statuses"][shard_id] == status:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def evaluate_with_retries(pool, request, timeout=15.0):
+    """Retry through the transient unavailable window (supervised
+    restart), the way a resilient client would."""
+    deadline = time.perf_counter() + timeout
+    while True:
+        try:
+            return pool.evaluate(request)
+        except ShardUnavailableError:
+            if time.perf_counter() >= deadline:
+                raise
+            time.sleep(0.02)
 
 
 class _Driver(threading.Thread):
@@ -128,7 +162,7 @@ class TestTwoConcurrentDrivers:
             assert errors == []
 
 
-class TestPoisonDrainsAllDrivers:
+class TestCloseDrainsAllDrivers:
     def test_close_during_concurrent_driving_fails_both_promptly(self):
         store = make_store()
         pool = ProcessShardPool(store)
@@ -147,44 +181,182 @@ class TestPoisonDrainsAllDrivers:
             assert isinstance(driver.error, PolicyStoreError)
             assert driver.mismatches == []
 
-    def test_worker_death_poisons_the_pool_and_wakes_both_drivers(self):
+    def test_double_close_is_idempotent(self):
         store = make_store()
         pool = ProcessShardPool(store)
-        try:
-            alpha = _Driver(pool, "alpha-stream", "p:alpha", batch=4, rounds=10**6)
-            beta = _Driver(pool, "beta-stream", "p:beta", batch=4, rounds=10**6)
+        assert pool.evaluate(
+            Request.simple("u", "alpha-stream")
+        ).policy_id == "p:alpha"
+        pool.close()
+        pool.close()  # second close is a no-op, not an error
+        with pytest.raises(PolicyStoreError, match="closed"):
+            pool.evaluate(Request.simple("u", "alpha-stream"))
+        # The store detached exactly once and stays fully usable: a
+        # fresh pool can attach to it again.
+        store.load(permit_policy("p:after", "after-stream"))
+        with ProcessShardPool(store) as second:
+            assert second.evaluate(
+                Request.simple("u", "after-stream")
+            ).policy_id == "p:after"
+
+    def test_concurrent_double_close_under_drivers(self):
+        store = make_store()
+        pool = ProcessShardPool(store)
+        alpha = _Driver(pool, "alpha-stream", "p:alpha", batch=4, rounds=10**6)
+        beta = _Driver(pool, "beta-stream", "p:beta", batch=4, rounds=10**6)
+        alpha.start()
+        beta.start()
+        while alpha.completed == 0 or beta.completed == 0:
+            time.sleep(0.005)
+        n_closers = 4
+        barrier = threading.Barrier(n_closers)
+        close_errors = []
+
+        def closer():
+            barrier.wait()
+            try:
+                pool.close()
+            except Exception as error:  # noqa: BLE001 — collected for assert
+                close_errors.append(error)
+
+        closers = [
+            threading.Thread(target=closer, daemon=True)
+            for _ in range(n_closers)
+        ]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join(JOIN_TIMEOUT)
+        assert not any(thread.is_alive() for thread in closers)
+        assert close_errors == []
+        alpha.join(JOIN_TIMEOUT)
+        beta.join(JOIN_TIMEOUT)
+        assert not alpha.is_alive() and not beta.is_alive()
+        for driver in (alpha, beta):
+            assert isinstance(driver.error, PolicyStoreError)
+            assert driver.mismatches == []
+
+
+class TestSupervisedRecovery:
+    def test_worker_death_fails_only_its_shard_then_recovers(self):
+        store = make_store()
+        alpha_request = Request.simple("u", "alpha-stream")
+        beta_request = Request.simple("u", "beta-stream")
+        alpha_sid = shard_of_resource(store, "alpha-stream")
+        beta_sid = shard_of_resource(store, "beta-stream")
+        assert alpha_sid != beta_sid
+        with ProcessShardPool(
+            store, on_unavailable="error", restart_backoff=0.5
+        ) as pool:
+            assert pool.evaluate(alpha_request).policy_id == "p:alpha"
+            pool.kill_worker(alpha_sid)
+            # The dead shard's traffic fails with the typed, retryable
+            # error within the supervision window...
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                deadline = time.perf_counter() + 5.0
+                while time.perf_counter() < deadline:
+                    pool.evaluate(alpha_request)
+            assert excinfo.value.retryable
+            assert excinfo.value.shard_id == alpha_sid
+            # ...while the healthy shard never notices.
+            assert pool.evaluate(beta_request).policy_id == "p:beta"
+            # The shard recovers automatically — same pool object, no
+            # reconstruction — and serves correct decisions again.
+            assert evaluate_with_retries(
+                pool, alpha_request
+            ).policy_id == "p:alpha"
+            health = pool.health()
+            assert health["worker_restarts"] >= 1
+            assert health["statuses"][beta_sid] == "up"
+
+    def test_fallback_mode_serves_through_crash_and_restart(self):
+        store = make_store()
+        alpha_sid = shard_of_resource(store, "alpha-stream")
+        with ProcessShardPool(store, restart_backoff=0.5) as pool:
+            alpha = _Driver(
+                pool, "alpha-stream", "p:alpha", batch=4, rounds=300
+            )
+            beta = _Driver(pool, "beta-stream", "p:beta", batch=4, rounds=300)
             alpha.start()
             beta.start()
             while alpha.completed == 0 or beta.completed == 0:
                 time.sleep(0.005)
-            for process in pool._processes:
-                process.terminate()
+            pool.kill_worker(alpha_sid)
             alpha.join(JOIN_TIMEOUT)
             beta.join(JOIN_TIMEOUT)
             assert not alpha.is_alive() and not beta.is_alive()
+            # Decision-identical fallback: the crash is invisible to
+            # both drivers — every round completed, every decision
+            # named the expected policy.
             for driver in (alpha, beta):
-                assert isinstance(driver.error, PolicyStoreError)
-            # Later calls fail fast with the poison reason.
-            with pytest.raises(PolicyStoreError, match="poisoned|closed"):
-                pool.evaluate(Request.simple("u", "alpha-stream"))
-            assert pool._poisoned is not None
-        finally:
-            pool.close()
+                assert driver.error is None
+                assert driver.mismatches == []
+                assert driver.completed == driver.rounds
+            stats = pool.cache_stats()
+            assert stats["fallback_evaluations"] > 0
+            assert wait_for_status(pool, alpha_sid, "up")
+            assert pool.health()["worker_restarts"] >= 1
 
-    def test_poisoned_pool_reports_reason_not_timeout(self):
+    def test_unavailable_error_is_prompt_and_typed_not_a_timeout(self):
         store = make_store()
-        pool = ProcessShardPool(store)
-        try:
-            assert pool.evaluate(Request.simple("u", "alpha-stream")).policy_id == (
-                "p:alpha"
-            )
-            for process in pool._processes:
-                process.terminate()
+        alpha_sid = shard_of_resource(store, "alpha-stream")
+        with ProcessShardPool(
+            store, on_unavailable="error", restart_backoff=30.0
+        ) as pool:
+            request = Request.simple("u", "alpha-stream")
+            assert pool.evaluate(request).policy_id == "p:alpha"
+            pool.kill_worker(alpha_sid)
             started = time.perf_counter()
-            with pytest.raises(PolicyStoreError):
-                # Must fail via poison detection (sub-second), never by
-                # waiting out the full response timeout.
-                pool.evaluate(Request.simple("u", "alpha-stream"))
+            with pytest.raises(ShardUnavailableError):
+                deadline = started + 5.0
+                while time.perf_counter() < deadline:
+                    pool.evaluate(request)
+            # Must fail via death detection (sub-second), never by
+            # waiting out the full response timeout.
             assert time.perf_counter() - started < pool.RESPONSE_TIMEOUT / 2
-        finally:
-            pool.close()
+
+    def test_budget_exhaustion_degrades_only_that_shard(self):
+        store = make_store()
+        alpha_request = Request.simple("u", "alpha-stream")
+        beta_request = Request.simple("u", "beta-stream")
+        alpha_sid = shard_of_resource(store, "alpha-stream")
+        with ProcessShardPool(
+            store, on_unavailable="error", max_restarts=0
+        ) as pool:
+            pool.kill_worker(alpha_sid)
+            assert wait_for_status(pool, alpha_sid, "degraded")
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                pool.evaluate(alpha_request)
+            assert excinfo.value.degraded
+            assert not excinfo.value.retryable
+            # Only the dead shard degraded; its neighbour serves on.
+            assert pool.evaluate(beta_request).policy_id == "p:beta"
+            health = pool.health()
+            assert health["degraded_shards"] == [alpha_sid]
+            # revive() grants a fresh restart outside the budget.
+            pool.revive(alpha_sid)
+            assert wait_for_status(pool, alpha_sid, "up")
+            assert evaluate_with_retries(
+                pool, alpha_request
+            ).policy_id == "p:alpha"
+
+    def test_degraded_shard_falls_back_decision_identically(self):
+        store = make_store()
+        alpha_request = Request.simple("u", "alpha-stream")
+        alpha_sid = shard_of_resource(store, "alpha-stream")
+        with ProcessShardPool(store, max_restarts=0) as pool:
+            pool.kill_worker(alpha_sid)
+            assert wait_for_status(pool, alpha_sid, "degraded")
+            # Fallback answers from the authoritative parent replica —
+            # including mutations applied *after* degradation, which
+            # the dead worker never saw.
+            assert pool.evaluate(alpha_request).policy_id == "p:alpha"
+            store.update(
+                Policy(
+                    "p:alpha",
+                    target=Target.for_ids(resource="alpha-stream"),
+                    rules=[Rule("p:alpha:deny", Effect.DENY)],
+                )
+            )
+            assert pool.evaluate(alpha_request).decision.value == "Deny"
+            assert pool.cache_stats()["fallback_evaluations"] >= 2
