@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.expr.ast import Operator, SimpleExpression
+from repro.expr.ast import BooleanExpression, Operator, SimpleExpression
 
 
 class PairVerdict(enum.IntEnum):
@@ -165,6 +165,70 @@ def _numeric_is_subset(inner: SimpleExpression, outer: SimpleExpression) -> bool
 # ---------------------------------------------------------------------------
 # checkTwoSimpleExpression and the Step-3 aggregation
 # ---------------------------------------------------------------------------
+
+def conjunction_unsatisfiable(literals: Sequence[SimpleExpression]) -> bool:
+    """True when the conjunction of *literals* admits no value assignment.
+
+    Decided by pairwise :func:`intersection_empty` on same-attribute
+    literals — exact for conjunctions of the six comparison operators
+    (each attribute's constraint set is an intersection of points, holes
+    and rays, and such an intersection is empty iff some pair is).
+    """
+    n = len(literals)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if intersection_empty(literals[i], literals[j]):
+                return True
+    return False
+
+
+def _conjunction_implies_literal(
+    conjunction: Sequence[SimpleExpression], literal: SimpleExpression
+) -> bool:
+    """True when some literal of *conjunction* alone implies *literal*.
+
+    Sound but incomplete: two literals on the same attribute may jointly
+    imply a third even when neither does alone.  Good enough for the
+    subsumption feed, which only needs "provably implies".
+    """
+    return any(is_subset(candidate, literal) for candidate in conjunction)
+
+
+def implies(first: "BooleanExpression", second: "BooleanExpression") -> bool:
+    """True when *first* **provably** implies *second* (first ⇒ second).
+
+    Both expressions are normalised to DNF; ``first ⇒ second`` holds when
+    every satisfiable conjunction of *first* implies some conjunction of
+    *second*, each literal of which must be implied by a same-attribute
+    literal of the first-side conjunction (:func:`is_subset`).
+
+    The check is **sound** (a True answer is always correct — the
+    property the shared-plan subsumption feed depends on, pinned by a
+    hypothesis test) but **incomplete**: it may answer False for
+    implications that need cross-literal or cross-conjunction reasoning.
+    """
+    from repro.expr.normalize import to_dnf
+
+    first_dnf = to_dnf(first)
+    second_dnf = to_dnf(second)
+    for first_conj in first_dnf:
+        if not first_conj:
+            # TRUE conjunction on the left: second must contain TRUE too.
+            if any(not conj for conj in second_dnf):
+                continue
+            return False
+        if conjunction_unsatisfiable(first_conj):
+            continue  # an unsatisfiable disjunct implies anything
+        if not any(
+            all(
+                _conjunction_implies_literal(first_conj, literal)
+                for literal in second_conj
+            )
+            for second_conj in second_dnf
+        ):
+            return False
+    return True
+
 
 def check_two_simple_expressions(
     policy_side: SimpleExpression, user_side: SimpleExpression

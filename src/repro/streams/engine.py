@@ -20,6 +20,7 @@ from repro.errors import EngineError, UnknownHandleError
 from repro.streams.catalog import StreamCatalog
 from repro.streams.graph import QueryGraph, QueryGraphInstance
 from repro.streams.handles import StreamHandle
+from repro.streams.plan import SharedQuery, StreamPlan
 from repro.streams.schema import Schema
 from repro.streams.stream import Stream
 from repro.streams.tuples import StreamTuple, make_tuple
@@ -97,20 +98,43 @@ class StreamEngine:
     By default queries run on the compiled + batched execution path
     (filter conditions compiled to closures per schema, pipelines
     evaluated batch-at-a-time, window aggregation on columnar buffers
-    with incremental aggregate states).  ``compiled=False`` — or the
-    :meth:`reference` constructor — pins every query to the seed
-    per-tuple interpreted path (row-oriented window buffers,
-    recompute-per-window aggregation), the reference mode for
-    differential testing, mirroring ``PolicyDecisionPoint.reference()``.
+    with incremental aggregate states) **and** on a shared execution
+    plan per input stream (:class:`~repro.streams.plan.StreamPlan`):
+    queries with identical — or provably subsuming — operator prefixes
+    share DAG nodes, so a pushed batch is filtered/windowed once per
+    distinct prefix instead of once per query.  ``shared=False`` keeps
+    the compiled path but runs one private pipeline per query (the
+    pre-plan execution model, and the baseline
+    ``benchmarks/bench_multiquery.py`` measures against).
+
+    ``compiled=False`` — or the :meth:`reference` constructor — pins
+    every query to the seed per-tuple interpreted path (row-oriented
+    window buffers, recompute-per-window aggregation, one pipeline per
+    query), the reference mode for differential testing, mirroring
+    ``PolicyDecisionPoint.reference()``.
     """
 
-    def __init__(self, host: str = "dsms.local", compiled: bool = True):
+    def __init__(
+        self,
+        host: str = "dsms.local",
+        compiled: bool = True,
+        shared: Optional[bool] = None,
+    ):
         self.host = host
         self.compiled = compiled
+        #: Shared-plan execution defaults to following the compiled
+        #: flag, so ``reference()`` stays the seed per-query path.
+        self.shared = compiled if shared is None else shared
         self.catalog = StreamCatalog()
-        self._queries: Dict[str, RegisteredQuery] = {}
+        self._queries: Dict[str, Union[RegisteredQuery, SharedQuery]] = {}
+        #: One shared plan per input stream (keyed by stream identity),
+        #: created lazily at first registration.
+        self._plans: Dict[int, StreamPlan] = {}
         #: Count of queries ever registered (for monitoring/benchmarks).
         self.total_registered = 0
+        #: Count of queries withdrawn; ``total_registered -
+        #: total_withdrawn == active_query_count`` at all times.
+        self.total_withdrawn = 0
 
     @classmethod
     def reference(cls, host: str = "dsms.local") -> "StreamEngine":
@@ -180,15 +204,28 @@ class StreamEngine:
 
         The graph is validated against the source stream's schema before
         anything is installed, so an invalid graph changes no engine state.
+
+        On a shared engine the query is attached to the source stream's
+        :class:`~repro.streams.plan.StreamPlan`, sharing operator nodes
+        with same-prefix queries; otherwise it gets a private pipeline.
         """
         source = self.catalog.get(graph.source)
-        instance = graph.instantiate(source.schema, compiled=self.compiled)
         if handle is None:
             handle = StreamHandle.allocate(self.host)
         if handle.uri in self._queries:
             raise EngineError(f"handle {handle.uri!r} is already in use")
-        output = Stream(handle.query_id, instance.output_schema)
-        self._queries[handle.uri] = RegisteredQuery(handle, instance, output, source)
+        if self.shared:
+            plan = self._plans.get(id(source))
+            if plan is None:
+                plan = self._plans[id(source)] = StreamPlan(
+                    source, compiled=self.compiled
+                )
+            query: Union[RegisteredQuery, SharedQuery] = plan.attach(graph, handle)
+        else:
+            instance = graph.instantiate(source.schema, compiled=self.compiled)
+            output = Stream(handle.query_id, instance.output_schema)
+            query = RegisteredQuery(handle, instance, output, source)
+        self._queries[handle.uri] = query
         self.total_registered += 1
         return handle
 
@@ -214,8 +251,10 @@ class StreamEngine:
                 self.register_input_stream(name, parsed.input_schema)
         return self.register_query(parsed.graph)
 
-    def lookup(self, handle: Union[StreamHandle, str]) -> RegisteredQuery:
-        uri = handle.uri if isinstance(handle, StreamHandle) else handle
+    def lookup(
+        self, handle: Union[StreamHandle, str]
+    ) -> Union[RegisteredQuery, SharedQuery]:
+        uri = StreamHandle.uri_of(handle)
         query = self._queries.get(uri)
         if query is None or not query.active:
             raise UnknownHandleError(uri)
@@ -239,15 +278,32 @@ class StreamEngine:
         Withdrawing an unknown or already-withdrawn handle raises
         :class:`UnknownHandleError` so revocation failures are loud.
         """
-        uri = handle.uri if isinstance(handle, StreamHandle) else handle
+        uri = StreamHandle.uri_of(handle)
         query = self._queries.get(uri)
         if query is None:
             raise UnknownHandleError(uri)
         query.withdraw()
         del self._queries[uri]
+        self.total_withdrawn += 1
 
-    def active_queries(self) -> List[RegisteredQuery]:
+    def active_queries(self) -> List[Union[RegisteredQuery, SharedQuery]]:
         return [q for q in self._queries.values() if q.active]
+
+    @property
+    def active_query_count(self) -> int:
+        """Live queries right now (``total_registered - total_withdrawn``)."""
+        return len(self._queries)
+
+    def plan_stats(self) -> Dict[str, Dict[str, int]]:
+        """Shared-plan shape per input stream (empty for per-query engines).
+
+        Each entry reports ``queries`` (live sinks), ``live_nodes``
+        (operator nodes currently in the DAG — the churn harness asserts
+        this returns to zero once every handle withdraws),
+        ``nodes_created`` / ``nodes_shared`` (prefix-merge hits) /
+        ``nodes_subsumed`` (subsumption-fed filters), cumulatively.
+        """
+        return {plan.source.name: plan.stats() for plan in self._plans.values()}
 
     def __len__(self) -> int:
         return len(self._queries)

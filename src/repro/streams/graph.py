@@ -25,6 +25,24 @@ from repro.streams.tuples import StreamTuple
 _graph_counter = itertools.count(1)
 
 
+def materialize_operator(operator: Operator, compiled: bool) -> Operator:
+    """A fresh runnable copy of *operator* pinned to one execution path.
+
+    ``compiled=False`` flips every copy that carries the flag to the
+    seed interpreted path.  Shared by :class:`QueryGraphInstance` (the
+    per-query path) and the shared execution plan
+    (:mod:`repro.streams.plan`), so both modes flip the same switch.
+    """
+    copy = operator.fresh_copy()
+    if not compiled and hasattr(copy, "use_compiled"):
+        # Filter, map and window aggregation all carry their seed
+        # implementations behind this flag (the window oracles in
+        # tests/properties/test_prop_streams.py and the equivalence
+        # harnesses pin both modes).
+        copy.use_compiled = False
+    return copy
+
+
 class QueryGraph:
     """An ordered chain of operators over a named input stream."""
 
@@ -160,15 +178,9 @@ class QueryGraphInstance:
     def __init__(self, graph: QueryGraph, input_schema: Schema, compiled: bool = True):
         self.graph = graph
         self.compiled = compiled
-        self._operators = [op.fresh_copy() for op in graph.operators]
-        if not compiled:
-            for operator in self._operators:
-                # Filter, map and window aggregation all carry their
-                # seed implementations behind this flag (the window
-                # oracles in tests/properties/test_prop_streams.py and
-                # the equivalence harnesses pin both modes).
-                if hasattr(operator, "use_compiled"):
-                    operator.use_compiled = False
+        self._operators = [
+            materialize_operator(op, compiled) for op in graph.operators
+        ]
         self._schemas = graph.schema_trace(input_schema)
         self._stages = list(zip(self._operators, self._schemas[1:]))
 

@@ -9,7 +9,7 @@ connect to the back-end DSMS (paper Sections 1 and 3.2).
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Union
 
 from repro.errors import EngineError
 
@@ -47,6 +47,11 @@ class StreamHandle:
     def allocate(cls, host: str, prefix: str = "q") -> "StreamHandle":
         """Allocate a fresh handle on *host* with a unique query id."""
         return cls(host, f"{prefix}{next(_handle_counter)}")
+
+    @staticmethod
+    def uri_of(handle: Union["StreamHandle", str]) -> str:
+        """The URI of a handle-or-URI value (engine lookups accept both)."""
+        return handle.uri if isinstance(handle, StreamHandle) else handle
 
     def __eq__(self, other) -> bool:
         return isinstance(other, StreamHandle) and self.uri == other.uri

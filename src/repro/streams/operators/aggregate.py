@@ -9,14 +9,16 @@ engine-side to be usable in obligations).
 Besides the whole-window ``compute`` callable, a function may carry an
 *incremental state* factory (:class:`AggregateState`): a small object
 that consumes window churn as ``insert``/``evict`` pairs and answers
-``result`` in O(1), so overlapping sliding windows cost O(step) per
-advance instead of O(size) per emission.  Functions registered without
-a state factory (``median``, third-party registrations) transparently
-fall back to per-window recomputation over the columnar buffer.
+``result`` in O(1) (median: O(log size), on paired heaps), so
+overlapping sliding windows cost O(step) per advance instead of
+O(size) per emission.  Functions registered without a state factory
+(third-party registrations) transparently fall back to per-window
+recomputation over the columnar buffer.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from collections import deque
@@ -393,6 +395,103 @@ class _LastState(AggregateState):
         return self._last
 
 
+class _MedianState(AggregateState):
+    """Sliding-window median on paired heaps with lazy deletion.
+
+    ``_lower`` is a max-heap (values negated) over the smaller half of
+    the window, ``_upper`` a min-heap over the larger half.  Evictions
+    are *lazy*: the departing value is recorded in ``_stale`` and
+    physically removed only when it surfaces at a heap top, so every
+    operation costs O(log n) amortized instead of the O(n) a mid-heap
+    delete would need.  ``_lower_size``/``_upper_size`` count **live**
+    values only, and the balance invariant — the lower half holds
+    ⌈n/2⌉ live values — is maintained on those counts.
+
+    Bit-identical to the :func:`_median` recompute: the heap tops are
+    the same one or two middle order statistics of the live multiset,
+    odd windows return the middle value unconverted (ints stay ints),
+    even windows average the two middles with the identical ``/ 2.0``.
+    """
+
+    __slots__ = ("_lower", "_upper", "_lower_size", "_upper_size", "_stale")
+
+    def __init__(self):
+        self._lower: list = []   # negated values: max-heap, smaller half
+        self._upper: list = []   # min-heap, larger half
+        self._lower_size = 0
+        self._upper_size = 0
+        self._stale: dict = {}   # value -> pending lazy deletions
+
+    def _prune_lower(self) -> None:
+        heap, stale = self._lower, self._stale
+        while heap:
+            count = stale.get(-heap[0])
+            if not count:
+                return
+            value = -heapq.heappop(heap)
+            if count == 1:
+                del stale[value]
+            else:
+                stale[value] = count - 1
+
+    def _prune_upper(self) -> None:
+        heap, stale = self._upper, self._stale
+        while heap:
+            count = stale.get(heap[0])
+            if not count:
+                return
+            value = heapq.heappop(heap)
+            if count == 1:
+                del stale[value]
+            else:
+                stale[value] = count - 1
+
+    def _rebalance(self) -> None:
+        # A heap top about to move to the other heap must be live,
+        # hence the prune before (and after, to re-expose a live top
+        # for the next routing comparison) each move.
+        if self._lower_size > self._upper_size + 1:
+            self._prune_lower()
+            heapq.heappush(self._upper, -heapq.heappop(self._lower))
+            self._lower_size -= 1
+            self._upper_size += 1
+            self._prune_lower()
+        elif self._lower_size < self._upper_size:
+            self._prune_upper()
+            heapq.heappush(self._lower, -heapq.heappop(self._upper))
+            self._upper_size -= 1
+            self._lower_size += 1
+            self._prune_upper()
+
+    def insert(self, value) -> None:
+        # Every operation leaves the lower top pruned, so this routing
+        # comparison never consults a lazily-deleted value.
+        if self._lower_size and value <= -self._lower[0]:
+            heapq.heappush(self._lower, -value)
+            self._lower_size += 1
+        else:
+            heapq.heappush(self._upper, value)
+            self._upper_size += 1
+        self._rebalance()
+
+    def evict(self, value) -> None:
+        self._stale[value] = self._stale.get(value, 0) + 1
+        if self._lower_size and value <= -self._lower[0]:
+            self._lower_size -= 1
+            self._prune_lower()
+        else:
+            self._upper_size -= 1
+            self._prune_upper()
+        self._rebalance()
+
+    def result(self):
+        self._prune_lower()
+        if self._lower_size > self._upper_size:
+            return -self._lower[0]
+        self._prune_upper()
+        return (-self._lower[0] + self._upper[0]) / 2.0
+
+
 class AggregateFunction:
     """A named aggregate with its result-type rule.
 
@@ -525,8 +624,6 @@ def _max_state() -> _MinMaxState:
     return _MinMaxState(max)
 
 
-#: ``median`` has no O(1) sliding-window state (an order statistic needs
-#: the window's sorted content), so it stays on the recompute fallback.
 for _function in (
     AggregateFunction("avg", lambda v: sum(v) / len(v), _always_double,
                       make_state=_AvgState),
@@ -539,7 +636,7 @@ for _function in (
                       make_state=_LastState),
     AggregateFunction("firstval", lambda v: v[0], _preserve, requires_numeric=False,
                       make_state=_FirstState),
-    AggregateFunction("median", _median, _always_double),
+    AggregateFunction("median", _median, _always_double, make_state=_MedianState),
     AggregateFunction("stdev", _stdev, _always_double, make_state=_WelfordState),
 ):
     register_aggregate_function(_function)

@@ -22,6 +22,15 @@ class Operator:
     #: "map", "aggregate").
     kind: str = "operator"
 
+    #: Whether this operator accumulates cross-tuple state (windows).  The
+    #: shared execution plan may attach a new query to an existing
+    #: stateless node at any time, but a stateful node is only shareable
+    #: before it has consumed input (afterwards the plan clones it so the
+    #: newcomer starts from an empty window, exactly like a fresh
+    #: per-query pipeline).  Defaults to True — the conservative choice
+    #: for third-party operators.
+    stateful: bool = True
+
     def output_schema(self, input_schema: Schema) -> Schema:
         """The schema of tuples this operator emits given *input_schema*.
 

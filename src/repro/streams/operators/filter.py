@@ -29,6 +29,9 @@ class FilterOperator(Operator):
     """
 
     kind = "filter"
+    #: Schema-compile caches aside, filtering is pure — safe to share
+    #: across queries in the shared execution plan at any point.
+    stateful = False
 
     def __init__(
         self,

@@ -27,6 +27,9 @@ class MapOperator(Operator):
     """
 
     kind = "map"
+    #: Projection is pure (the compiled itemgetter is a per-layout cache,
+    #: not window state) — safe to share across queries at any point.
+    stateful = False
 
     def __init__(self, attributes: Iterable[str], use_compiled: bool = True):
         names: List[str] = []

@@ -165,6 +165,10 @@ class AggregateOperator(Operator):
     """
 
     kind = "aggregate"
+    #: Window contents are history-dependent (tuple-window alignment, the
+    #: time-window origin ``t0``), so the shared plan clones this node
+    #: instead of sharing it once it has consumed input.
+    stateful = True
 
     def __init__(
         self,

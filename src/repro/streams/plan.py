@@ -1,0 +1,597 @@
+"""Shared-operator execution plans: multi-query optimization.
+
+At realistic fan-out — hundreds of continuous queries registered on one
+input stream — the per-query execution model runs one full pipeline per
+query per batch, so ingest cost is strictly linear in query count even
+when most queries are near-identical (the common case: policy obligations
+stamped from a handful of templates).  A :class:`StreamPlan` merges the
+registered queries of one stream into a DAG instead:
+
+- **Fingerprinting.**  Each operator in a query chain is reduced to a
+  canonical, hashable key (:func:`operator_fingerprint`).  Filter
+  conditions are canonicalized through DNF conversion + per-conjunction
+  simplification (``expr/normalize.py`` / ``expr/simplify.py``), so
+  ``x > 5 AND y = 1`` and ``y = 1 AND x > 5`` share one key.  A new
+  query walks the DAG from the root, reusing the existing node at each
+  step when fingerprints match, so identical prefixes are evaluated
+  **once** per batch no matter how many queries share them.
+
+- **Predicate subsumption.**  When a new filter provably implies an
+  existing sibling filter (:func:`repro.expr.satisfiability.implies` —
+  sound, incomplete), the new node feeds from the *host's output* with a
+  residual predicate (the literals the host does not already guarantee)
+  instead of re-scanning the whole input.
+
+- **Clone-on-divergence for state.**  Stateless nodes (filter, map) are
+  shareable at any time.  A state-bearing node (window aggregation) is
+  only shareable while it has consumed no input: window alignment and
+  the time-window origin are history-dependent, and a per-query pipeline
+  always starts with an empty window.  A late-arriving twin gets a fresh
+  clone under the same fingerprint ("cloned on divergence").
+
+- **Refcounted detach.**  Withdrawal removes the query's sink and
+  cascades up the feed tree, freeing every node that no longer feeds a
+  sink or another node — co-tenants of shared prefixes are undisturbed.
+
+The plan registers **one** batch listener on the source stream and
+replays the per-query dispatch semantics exactly (the differential
+harnesses in ``tests/properties/test_prop_multiquery_equivalence.py``
+and the StreamSQL fuzzer's shared-prefix mode pin shared ≡ per-query
+under registration/withdrawal churn, including mid-batch):
+
+- Node outputs are delivered to sinks in global registration order —
+  the order per-query batch listeners would have fired in.
+- A query withdrawn while the source is mid-batch (from a per-tuple
+  control listener) is flushed the already-dispatched prefix of the
+  in-flight batch through the DAG before detaching, mirroring
+  ``Stream.remove_batch_listener``; the remaining queries see the rest
+  of the batch when the plan's listener fires.  Splitting a batch at
+  the flush point is output-equivalent because every operator's
+  ``process_batch`` is batch-partition invariant.
+- A query (and any node created for it) registered while dispatches are
+  in flight defers those batches — matching a per-query listener's
+  absence from every in-flight snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.expr.ast import (
+    AndExpression,
+    BooleanExpression,
+    NotExpression,
+    OrExpression,
+    SimpleExpression,
+    TrueExpression,
+)
+from repro.expr.normalize import to_dnf
+from repro.expr.satisfiability import conjunction_unsatisfiable, implies
+from repro.expr.simplify import simplify_conjunction
+from repro.streams.graph import QueryGraph, materialize_operator
+from repro.streams.handles import StreamHandle
+from repro.streams.operators.base import Operator
+from repro.streams.operators.filter import FilterOperator
+from repro.streams.operators.map import MapOperator
+from repro.streams.operators.window import AggregateOperator
+from repro.streams.stream import Stream
+from repro.streams.tuples import StreamTuple
+
+# ---------------------------------------------------------------------------
+# Operator fingerprinting
+# ---------------------------------------------------------------------------
+
+#: Leaf budget for condition canonicalization.  DNF conversion is
+#: exponential in AND/OR alternation depth, so conditions over this
+#: budget fall back to a textual key (identical text still shares; the
+#: equivalence and subsumption analyses are skipped).
+CANON_LEAF_LIMIT = 16
+
+
+def _count_leaves(expression: BooleanExpression) -> int:
+    count = 0
+    stack: List[BooleanExpression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SimpleExpression):
+            count += 1
+        elif isinstance(node, (AndExpression, OrExpression)):
+            stack.extend(node.children)
+        elif isinstance(node, NotExpression):
+            stack.append(node.child)
+    return count
+
+
+def _literal_key(literal: SimpleExpression) -> tuple:
+    # The string flag keeps mixed-type value columns orderable: ties on
+    # (attribute, op) only ever compare same-kind values.
+    return (
+        literal.attribute,
+        literal.op.name,
+        isinstance(literal.value, str),
+        literal.value,
+    )
+
+
+def condition_fingerprint(condition: BooleanExpression) -> tuple:
+    """A canonical hashable key for a filter condition.
+
+    Equal keys imply logically equivalent conditions: the key is built
+    by DNF conversion, dropping unsatisfiable conjunctions, simplifying
+    each conjunction (literals implied by a same-attribute neighbour are
+    dropped), and sorting literals and conjunctions — every step an
+    equivalence transform.  The converse does not hold (two equivalent
+    conditions may key differently); such pairs may still merge through
+    the subsumption feed, which checks implication both ways.
+    """
+    if isinstance(condition, TrueExpression):
+        return ("true",)
+    if _count_leaves(condition) > CANON_LEAF_LIMIT:
+        return ("raw", condition.to_condition_string())
+    conjunctions = []
+    for conjunction in to_dnf(condition):
+        if not conjunction:
+            return ("true",)
+        if conjunction_unsatisfiable(conjunction):
+            continue
+        literals = simplify_conjunction(conjunction)
+        conjunctions.append(tuple(sorted(_literal_key(lit) for lit in literals)))
+    if not conjunctions:
+        return ("false",)
+    return ("dnf", tuple(sorted(set(conjunctions))))
+
+
+def operator_fingerprint(operator: Operator) -> Optional[tuple]:
+    """A hashable key such that equal keys mean interchangeable operators.
+
+    ``None`` means "never share": unknown operator types may hide state
+    or side effects the plan cannot reason about, so each gets a private
+    node.  Exact-type checks (not ``isinstance``) keep subclasses with
+    overridden behaviour private too.  The compiled/reference flag is
+    part of every key: filter and map are output-identical on both
+    paths, but incremental aggregate states may drift from the reference
+    recompute by ulps, so queries pinned to different paths never share.
+
+    Map keys are order-insensitive (``Schema.project`` orders output
+    fields by the input schema's declaration order, not the attribute
+    list); aggregation-spec order is preserved (it fixes the output
+    schema's field order).
+    """
+    if type(operator) is FilterOperator:
+        return (
+            "filter",
+            operator.use_compiled,
+            condition_fingerprint(operator.condition),
+        )
+    if type(operator) is MapOperator:
+        return ("map", operator.use_compiled, operator.attribute_set())
+    if type(operator) is AggregateOperator:
+        window = operator.window
+        return (
+            "aggregate",
+            operator.use_compiled,
+            window.window_type,
+            window.size,
+            window.step,
+            operator.time_attribute,
+            tuple(spec.key for spec in operator.aggregations),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# DAG nodes and sinks
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    """One operator instance, shared by every query whose chain reaches it.
+
+    ``logical_parent`` is the node whose *output set* this node's input
+    is defined on (the previous chain position); ``feed`` is the node
+    whose output is physically consumed.  They differ only for
+    subsumption-fed filters, where ``feed`` is the host filter and the
+    operator holds the residual predicate.  ``children_by_fp`` is the
+    share registry (fingerprint → nodes, a list because touched stateful
+    nodes force same-fingerprint clones); ``feed_children`` are the
+    physical consumers.  A node stays alive while it has sinks or feed
+    children (see :meth:`StreamPlan._release`).
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "operator",
+        "out_schema",
+        "condition",
+        "logical_parent",
+        "feed",
+        "host",
+        "children_by_fp",
+        "feed_children",
+        "sinks",
+        "consumed",
+        "defers",
+    )
+
+    def __init__(
+        self,
+        fingerprint: Optional[tuple],
+        operator: Optional[Operator],
+        out_schema,
+        logical_parent: Optional["PlanNode"],
+        feed: Optional["PlanNode"],
+        condition: Optional[BooleanExpression] = None,
+        host: Optional["PlanNode"] = None,
+    ):
+        self.fingerprint = fingerprint
+        self.operator = operator
+        self.out_schema = out_schema
+        #: Full logical condition (filter nodes only) — the subsumption
+        #: analysis needs it because ``operator.condition`` holds only
+        #: the residual for a subsumption-fed node.
+        self.condition = condition
+        self.logical_parent = logical_parent
+        self.feed = feed
+        self.host = host
+        self.children_by_fp: Dict[tuple, List[PlanNode]] = {}
+        self.feed_children: List[PlanNode] = []
+        self.sinks: List[SharedQuery] = []
+        #: Input tuples consumed so far; a stateful node is shareable
+        #: only at zero (a new query's window must start empty).
+        self.consumed = 0
+        #: Batches (id → batch) in flight at creation time, which this
+        #: node must not observe.
+        self.defers: Dict[int, list] = {}
+
+    @property
+    def refcount(self) -> int:
+        return len(self.feed_children) + len(self.sinks)
+
+    def __repr__(self) -> str:
+        op = self.operator.describe() if self.operator is not None else "<source>"
+        return f"PlanNode({op}, refcount={self.refcount})"
+
+
+class SharedQuery:
+    """Engine-facing record of one query registered on a shared plan.
+
+    Mirrors the ``RegisteredQuery`` surface the engine and its callers
+    rely on — ``handle``, ``output``, ``active``, ``output_schema``,
+    ``withdraw()`` — so :class:`~repro.streams.engine.StreamEngine` can
+    hold either kind.
+    """
+
+    __slots__ = ("plan", "handle", "node", "output", "active", "defers")
+
+    def __init__(
+        self, plan: "StreamPlan", handle: StreamHandle, node: PlanNode, output: Stream
+    ):
+        self.plan = plan
+        self.handle = handle
+        self.node = node
+        self.output = output
+        self.active = True
+        #: Batches in flight at registration, which this sink skips.
+        self.defers: Dict[int, list] = {}
+
+    @property
+    def output_schema(self):
+        return self.output.schema
+
+    def withdraw(self) -> None:
+        """Detach from the plan without disturbing co-tenant queries."""
+        self.plan.detach(self)
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "withdrawn"
+        return f"SharedQuery({self.handle.uri}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+class StreamPlan:
+    """The shared-operator execution DAG for one input stream.
+
+    Owns a single batch listener on the source (never removed — an empty
+    plan is just a no-op listener) and the DAG rooted at the pseudo-node
+    ``root`` (the source itself).  See the module docstring for the
+    sharing, subsumption and equivalence rules.
+    """
+
+    def __init__(self, source: Stream, compiled: bool = True):
+        self.source = source
+        self.compiled = compiled
+        self.root = PlanNode(("source",), None, source.schema, None, None)
+        #: Delivery order == global registration order.
+        self.queries: List[SharedQuery] = []
+        #: Per-batch consumed prefix (id(batch) → (batch, count)) from
+        #: mid-batch withdrawal flushes; the final dispatch pops it and
+        #: processes only the remainder.  The batch reference pins the
+        #: id against reuse.
+        self._consumed: Dict[int, Tuple[list, int]] = {}
+        self.nodes_created = 0
+        self.nodes_shared = 0
+        self.nodes_subsumed = 0
+        self._listener = self._on_batch
+        source.add_batch_listener(self._listener)
+
+    # -- registration -----------------------------------------------------------
+
+    def attach(self, graph: QueryGraph, handle: StreamHandle) -> SharedQuery:
+        """Install *graph* into the DAG; returns the new sink.
+
+        The whole chain is validated (schema propagation) before any
+        plan state is touched, so an invalid graph changes nothing.
+        """
+        schemas = graph.schema_trace(self.source.schema)
+        defers = self._inflight_batches()
+        node = self.root
+        for operator, out_schema in zip(graph.operators, schemas[1:]):
+            node = self._child_for(node, operator, out_schema, defers)
+        output = Stream(handle.query_id, node.out_schema)
+        query = SharedQuery(self, handle, node, output)
+        if defers:
+            query.defers = dict(defers)
+        node.sinks.append(query)
+        self.queries.append(query)
+        return query
+
+    def _inflight_batches(self) -> Dict[int, list]:
+        """Batches currently mid-dispatch on the source stream.
+
+        A sink or node created while these dispatches are in flight must
+        not observe them — the per-query path's equivalent is a listener
+        missing from every in-flight snapshot.
+        """
+        defers: Dict[int, list] = {}
+        inflight = self.source._inflight
+        while inflight is not None:
+            defers[id(inflight.batch)] = inflight.batch
+            inflight = inflight.previous
+        return defers
+
+    def _child_for(
+        self,
+        parent: PlanNode,
+        operator: Operator,
+        out_schema,
+        defers: Dict[int, list],
+    ) -> PlanNode:
+        fingerprint = operator_fingerprint(operator)
+        if fingerprint is not None:
+            for candidate in parent.children_by_fp.get(fingerprint, ()):
+                if not candidate.operator.stateful or candidate.consumed == 0:
+                    self.nodes_shared += 1
+                    return candidate
+            # Same-fingerprint candidates exist but have consumed input:
+            # fall through and clone (fresh state for the newcomer).
+        executing = materialize_operator(operator, self.compiled)
+        feed = parent
+        condition: Optional[BooleanExpression] = None
+        host: Optional[PlanNode] = None
+        if fingerprint is not None and fingerprint[0] == "filter":
+            condition = executing.condition
+            host = self._find_host(parent, condition)
+            if host is not None:
+                executing = self._residual_filter(executing, host.condition)
+                feed = host
+                self.nodes_subsumed += 1
+            # Filters preserve their input schema; reusing the parent's
+            # schema object keeps identity checks downstream at one `is`.
+            out_schema = parent.out_schema
+        node = PlanNode(
+            fingerprint,
+            executing,
+            out_schema,
+            parent,
+            feed,
+            condition=condition,
+            host=host,
+        )
+        if defers:
+            node.defers = dict(defers)
+        if fingerprint is not None:
+            parent.children_by_fp.setdefault(fingerprint, []).append(node)
+        feed.feed_children.append(node)
+        self.nodes_created += 1
+        return node
+
+    def _find_host(
+        self, parent: PlanNode, condition: BooleanExpression
+    ) -> Optional[PlanNode]:
+        """The tightest sibling filter provably implied by *condition*.
+
+        ``condition ⇒ host`` means the new filter's output is a subset
+        of the host's, so it can be computed from the host's (smaller)
+        output instead of re-scanning the parent's.  Among multiple
+        candidates the tightest is kept (host A beats host B when
+        ``A ⇒ B``), minimising the tuples the residual must re-test.
+        """
+        if _count_leaves(condition) > CANON_LEAF_LIMIT:
+            return None
+        host: Optional[PlanNode] = None
+        for siblings in parent.children_by_fp.values():
+            for candidate in siblings:
+                if candidate.condition is None:
+                    continue
+                if _count_leaves(candidate.condition) > CANON_LEAF_LIMIT:
+                    continue
+                if not implies(condition, candidate.condition):
+                    continue
+                if host is None or implies(candidate.condition, host.condition):
+                    host = candidate
+        return host
+
+    def _residual_filter(
+        self, operator: FilterOperator, host_condition: BooleanExpression
+    ) -> FilterOperator:
+        """A filter equivalent to *operator* on the host's output.
+
+        The host's output is exactly the tuples satisfying
+        ``host_condition``, so literals the host already guarantees
+        (``host ⇒ literal``) can be dropped: on that domain the rest of
+        the conjunction is equivalent to the full condition.  Dropping
+        is only attempted when the condition normalises to a single
+        conjunction; otherwise the full condition is kept — still
+        correct, merely without the re-test savings.
+        """
+        residual: BooleanExpression = operator.condition
+        dnf = to_dnf(operator.condition)
+        if len(dnf) == 1 and dnf[0]:
+            literals = [
+                literal
+                for literal in simplify_conjunction(dnf[0])
+                if not implies(host_condition, literal)
+            ]
+            if not literals:
+                residual = TrueExpression()
+            elif len(literals) == 1:
+                residual = literals[0]
+            else:
+                residual = AndExpression(tuple(literals))
+        return FilterOperator(residual, use_compiled=operator.use_compiled)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _on_batch(self, batch: Sequence[StreamTuple]) -> None:
+        entry = self._consumed.pop(id(batch), None)
+        start = entry[1] if entry is not None else 0
+        segment = batch if not start else batch[start:]
+        self._dispatch(segment, batch, final=True)
+
+    def _dispatch(
+        self, segment: Sequence[StreamTuple], batch: Sequence[StreamTuple], final: bool
+    ) -> None:
+        """Run *segment* (a suffix-aligned slice of *batch*) through the DAG.
+
+        Phase 1 computes every reachable, non-deferred node exactly once
+        in feed-tree order (each node's feed is computed before the node
+        itself).  Phase 2 delivers node outputs to sinks in global
+        registration order — the order per-query listeners would have
+        fired in, which keeps cross-query observable interleavings (and
+        sibling-withdrawal behaviour) identical to the per-query path.
+
+        ``final`` marks the plan listener's own invocation for *batch*
+        (as opposed to a mid-batch withdrawal flush): only then are
+        defer markers consumed, because a flush may precede the final
+        dispatch of the same batch.
+        """
+        if not segment:
+            return
+        marker = id(batch)
+        outputs: Dict[PlanNode, Sequence[StreamTuple]] = {self.root: segment}
+        stack = list(self.root.feed_children)
+        while stack:
+            node = stack.pop()
+            if node.defers:
+                if final:
+                    if node.defers.pop(marker, None) is not None:
+                        continue  # subtree skipped: children defer too
+                elif marker in node.defers:
+                    continue
+            inputs = outputs[node.feed]
+            if inputs:
+                node.consumed += len(inputs)
+                outputs[node] = node.operator.process_batch(inputs, node.out_schema)
+            else:
+                outputs[node] = inputs
+            stack.extend(node.feed_children)
+        for query in list(self.queries):
+            if not query.active:
+                continue
+            if query.defers:
+                if final:
+                    if query.defers.pop(marker, None) is not None:
+                        continue
+                elif marker in query.defers:
+                    continue
+            result = outputs.get(query.node)
+            if result:
+                query.output.append_batch(result)
+
+    # -- withdrawal -------------------------------------------------------------
+
+    def detach(self, query: SharedQuery) -> None:
+        """Withdraw *query*: flush, deactivate, and free unshared nodes.
+
+        Mirrors ``Stream.remove_batch_listener`` mid-batch semantics:
+        withdrawn during the source's per-tuple phase (before the plan's
+        listener ran), the already-dispatched prefix of the in-flight
+        batch is flushed through the DAG — the withdrawing query sees
+        exactly the tuples per-tuple dispatch would have shown it, and
+        the consumed count makes the final dispatch process only the
+        remainder.  Withdrawn during the batch phase (or after the
+        listener ran), the query simply stops — matching the per-query
+        guard engaging before its listener's turn.
+        """
+        if not query.active:
+            return
+        inflight = self.source._inflight
+        if (
+            inflight is not None
+            and not inflight.batch_phase
+            and self._listener in inflight.snapshot
+            and self._listener not in inflight.done
+        ):
+            batch = inflight.batch
+            entry = self._consumed.get(id(batch))
+            consumed = entry[1] if entry is not None else 0
+            progress = inflight.progress
+            if progress > consumed:
+                self._consumed[id(batch)] = (batch, progress)
+                self._dispatch(batch[consumed:progress], batch, final=False)
+        query.active = False
+        query.output.close()
+        self.queries.remove(query)
+        node = query.node
+        node.sinks.remove(query)
+        self._release(node)
+
+    def _release(self, node: PlanNode) -> None:
+        """Refcount cascade: free nodes that no longer feed anything.
+
+        Liveness is physical (sinks + feed children); the fingerprint
+        registry holds no reference of its own, so a freed node also
+        leaves the share registry and later twins get fresh nodes.
+        """
+        while node is not self.root and node.refcount == 0:
+            feed = node.feed
+            feed.feed_children.remove(node)
+            if node.fingerprint is not None:
+                siblings = node.logical_parent.children_by_fp[node.fingerprint]
+                siblings.remove(node)
+                if not siblings:
+                    del node.logical_parent.children_by_fp[node.fingerprint]
+            node.feed = node.logical_parent = node.host = None
+            node = feed
+
+    # -- introspection ----------------------------------------------------------
+
+    def live_nodes(self) -> List[PlanNode]:
+        """Every operator node currently in the DAG (root excluded)."""
+        nodes: List[PlanNode] = []
+        stack = list(self.root.feed_children)
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            stack.extend(node.feed_children)
+        return nodes
+
+    def stats(self) -> Dict[str, int]:
+        """Plan-shape counters (monitoring, benchmarks, churn assertions)."""
+        return {
+            "queries": len(self.queries),
+            "live_nodes": len(self.live_nodes()),
+            "nodes_created": self.nodes_created,
+            "nodes_shared": self.nodes_shared,
+            "nodes_subsumed": self.nodes_subsumed,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamPlan({self.source.name!r}, queries={len(self.queries)}, "
+            f"nodes={len(self.live_nodes())})"
+        )

@@ -46,14 +46,24 @@ class _InflightDispatch:
     ``append_batch([t])`` output-identical.
     """
 
-    __slots__ = ("batch", "snapshot", "done", "progress", "batch_phase")
+    __slots__ = ("batch", "snapshot", "done", "progress", "batch_phase", "previous")
 
-    def __init__(self, batch: List[StreamTuple], snapshot: set):
+    def __init__(
+        self,
+        batch: List[StreamTuple],
+        snapshot: set,
+        previous: Optional["_InflightDispatch"] = None,
+    ):
         self.batch = batch
         self.snapshot = snapshot
         self.done: set = set()
         self.progress = 0
         self.batch_phase = False
+        #: Enclosing dispatch when appends nest (a listener appending to
+        #: its own stream).  The chain lets the shared execution plan
+        #: defer *every* in-flight batch for queries registered
+        #: mid-dispatch, not just the innermost.
+        self.previous = previous
 
 
 class Stream:
@@ -144,8 +154,8 @@ class Stream:
                 )
         tuple_listeners = list(self._listeners)
         batch_listeners = list(self._batch_listeners)
-        inflight = _InflightDispatch(batch, set(batch_listeners))
         previous = self._inflight
+        inflight = _InflightDispatch(batch, set(batch_listeners), previous)
         self._inflight = inflight
         try:
             if tuple_listeners:

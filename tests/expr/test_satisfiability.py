@@ -206,3 +206,134 @@ class TestDnfVerdict:
 
     def test_empty_dnf_is_nr(self):
         assert dnf_verdict([]) is PairVerdict.NR
+
+
+class TestImplies:
+    """``implies`` is the shared-plan subsumption test: sound (True only
+    when entailment really holds) but deliberately incomplete."""
+
+    def expr(self, text):
+        from repro.expr.parser import parse_condition
+
+        return parse_condition(text)
+
+    def test_known_entailments(self):
+        from repro.expr.satisfiability import implies
+
+        for stronger, weaker in (
+            ("x > 20", "x > 10"),
+            ("x > 20 AND y < 5", "x > 10"),
+            ("x > 20 AND y < 5", "y < 5"),
+            ("x = 7", "x >= 7"),
+            ("x > 5 AND x > 9", "x > 5"),
+            ("x > 20", "x > 10 OR y < 0"),
+            ("x > 20 OR x > 30", "x > 10"),
+            ("tag = 'a'", "tag != 'b'"),
+            ("x > 1 AND x < 0", "y > 100"),  # unsatisfiable antecedent
+        ):
+            assert implies(self.expr(stronger), self.expr(weaker)), (stronger, weaker)
+            assert implies(self.expr(stronger), self.expr("TRUE"))
+
+    def test_known_non_entailments(self):
+        from repro.expr.satisfiability import implies
+
+        for first, second in (
+            ("x > 10", "x > 20"),
+            ("x > 10", "y < 5"),
+            ("x > 10 OR y < 5", "x > 10"),
+            ("TRUE", "x > 0"),
+            ("tag != 'b'", "tag = 'a'"),
+        ):
+            assert not implies(self.expr(first), self.expr(second)), (first, second)
+
+
+class TestImpliesSoundnessProperty:
+    """Hypothesis: whenever ``implies(A, B)`` answers True, every
+    assignment satisfying A satisfies B.  (The converse need not hold —
+    the check is incomplete — so only positive answers are audited.)
+
+    Thresholds and assignment values are drawn from one landmark set,
+    so the grid realizes every strictly-between / equal / outside
+    relation the comparisons can distinguish.
+    """
+
+    LANDMARKS = (-10, 0, 5, 10, 15)
+
+    def _strategies(self):
+        from hypothesis import strategies as st
+        from repro.expr.ast import (
+            AndExpression,
+            NotExpression,
+            OrExpression,
+            SimpleExpression,
+            TrueExpression,
+        )
+
+        numeric_leaf = st.builds(
+            SimpleExpression,
+            st.sampled_from(("x", "y")),
+            st.sampled_from(OPS),
+            st.sampled_from(self.LANDMARKS),
+        )
+        string_leaf = st.builds(
+            SimpleExpression,
+            st.just("tag"),
+            st.sampled_from((Operator.EQ, Operator.NE)),
+            st.sampled_from(("a", "b")),
+        )
+        expressions = st.recursive(
+            st.one_of(st.just(TrueExpression()), numeric_leaf, string_leaf),
+            lambda children: st.one_of(
+                st.lists(children, min_size=2, max_size=3).map(
+                    lambda cs: AndExpression(tuple(cs))
+                ),
+                st.lists(children, min_size=2, max_size=3).map(
+                    lambda cs: OrExpression(tuple(cs))
+                ),
+                children.map(NotExpression),
+            ),
+            max_leaves=6,
+        )
+        return expressions
+
+    def _assignments(self):
+        # Offsets ±0.5 land strictly between landmarks, so strict and
+        # non-strict comparisons are distinguished by the sweep.
+        values = sorted(
+            set(self.LANDMARKS)
+            | {v - 0.5 for v in self.LANDMARKS}
+            | {v + 0.5 for v in self.LANDMARKS}
+        )
+        return [
+            {"x": x, "y": y, "tag": tag}
+            for x in values
+            for y in (-10, 4.5, 15)
+            for tag in ("a", "b")
+        ]
+
+    def test_positive_answers_are_entailments(self):
+        from hypothesis import given, settings
+        from repro.expr.evaluate import evaluate
+        from repro.expr.satisfiability import implies
+
+        assignments = self._assignments()
+        expressions = self._strategies()
+        checked = [0]
+
+        @settings(max_examples=300, deadline=None)
+        @given(first=expressions, second=expressions)
+        def run(first, second):
+            # Audit both orientations plus the reflexive case, which
+            # must always be an entailment when DNF conversion fits.
+            for a, b in ((first, second), (second, first), (first, first)):
+                if not implies(a, b):
+                    continue
+                checked[0] += 1
+                for assignment in assignments:
+                    if evaluate(a, assignment):
+                        assert evaluate(b, assignment), (a, b, assignment)
+
+        run()
+        # A soundness audit that never sees a positive answer audits
+        # nothing: the strategy must actually produce entailments.
+        assert checked[0] > 50

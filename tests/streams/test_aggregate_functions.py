@@ -121,7 +121,8 @@ class TestIncrementalStates:
     """make_state() drives a sliding window exactly like the engine:
     FIFO insert/evict; result must track the recompute answer."""
 
-    STATEFUL = ("avg", "sum", "min", "max", "count", "lastval", "firstval", "stdev")
+    STATEFUL = ("avg", "sum", "min", "max", "count", "lastval", "firstval",
+                "stdev", "median")
 
     def slide(self, name, values, size, exact=True):
         """Slide a size-`size` step-1 window over *values*, comparing
@@ -152,7 +153,7 @@ class TestIncrementalStates:
         rng = random.Random(11)
         values = [rng.uniform(-50, 50) for _ in range(80)]
         for name in self.STATEFUL:
-            exact = name in ("min", "max", "count", "lastval", "firstval")
+            exact = name in ("min", "max", "count", "lastval", "firstval", "median")
             self.slide(name, values, size=5, exact=exact)
 
     def test_min_max_exact_under_duplicates(self):
@@ -171,9 +172,6 @@ class TestIncrementalStates:
         state.insert(10.0)
         state.insert(14.0)
         assert math.isclose(state.result(), get_aggregate_function("stdev").compute([10.0, 14.0]))
-
-    def test_median_has_no_state(self):
-        assert get_aggregate_function("median").make_state() is None
 
     def test_insert_many_evict_many_match_per_value(self):
         """The batched state entry points must agree with value-at-a-time

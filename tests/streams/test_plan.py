@@ -1,0 +1,260 @@
+"""Unit tests for the shared execution plan (repro.streams.plan).
+
+The differential harnesses (`tests/properties/test_prop_multiquery_
+equivalence.py`, the StreamSQL fuzzer) prove shared ≡ per-query on
+whole workloads; these tests pin the plan's *mechanics*: fingerprint
+canonicalization, prefix merging, subsumption feeds, clone-on-
+divergence for touched stateful nodes, and refcounted node release.
+"""
+
+import pytest
+
+from repro.expr.parser import parse_condition
+from repro.streams.engine import StreamEngine
+from repro.streams.graph import QueryGraph
+from repro.streams.operators import (
+    AggregateOperator,
+    AggregationSpec,
+    FilterOperator,
+    MapOperator,
+    WindowSpec,
+    WindowType,
+)
+from repro.streams.plan import (
+    CANON_LEAF_LIMIT,
+    condition_fingerprint,
+    operator_fingerprint,
+)
+from repro.streams.schema import Schema
+
+SCHEMA = Schema("s", [("t", "timestamp"), ("x", "double"), ("y", "double")])
+
+
+def fingerprint(text):
+    return condition_fingerprint(parse_condition(text))
+
+
+def tuple_agg(size, step, specs=("x:sum",)):
+    return AggregateOperator(
+        WindowSpec(WindowType.TUPLE, size, step),
+        [AggregationSpec.parse(spec) for spec in specs],
+    )
+
+
+class TestConditionFingerprint:
+    def test_commuted_conjunction_same_key(self):
+        assert fingerprint("x > 10 AND y < 5") == fingerprint("y < 5 AND x > 10")
+
+    def test_commuted_disjunction_same_key(self):
+        assert fingerprint("x > 10 OR y < 5") == fingerprint("y < 5 OR x > 10")
+
+    def test_redundant_literal_dropped(self):
+        # x > 20 implies x > 10, so the weaker literal is simplified away.
+        assert fingerprint("x > 20 AND x > 10") == fingerprint("x > 20")
+
+    def test_unsatisfiable_conjunction_dropped(self):
+        assert fingerprint("(x > 10 AND x < 0) OR y < 5") == fingerprint("y < 5")
+
+    def test_true_and_contradiction_keys(self):
+        assert fingerprint("TRUE") == ("true",)
+        assert fingerprint("x > 10 OR TRUE") == ("true",)
+        assert fingerprint("x > 1 AND x < 0")[0] == "false"
+
+    def test_different_conditions_differ(self):
+        assert fingerprint("x > 10") != fingerprint("x >= 10")
+        assert fingerprint("x > 10") != fingerprint("y > 10")
+
+    def test_leaf_limit_falls_back_to_raw(self):
+        # DNF of (a OR b) * n explodes exponentially; past the leaf
+        # budget the key degrades to the literal condition string
+        # (still sound: equal strings are equal conditions).
+        clause = " AND ".join(
+            f"(x > {i} OR y < {i})" for i in range(CANON_LEAF_LIMIT)
+        )
+        key = fingerprint(clause)
+        assert key[0] == "raw"
+
+
+class TestOperatorFingerprint:
+    def test_filter_key_is_condition_canonical(self):
+        a = operator_fingerprint(FilterOperator("x > 10 AND y < 5"))
+        b = operator_fingerprint(FilterOperator("y < 5 AND x > 10"))
+        assert a == b
+
+    def test_map_key_order_insensitive(self):
+        # Schema.project orders output by the input schema, so the
+        # attribute list's order is cosmetic.
+        assert operator_fingerprint(MapOperator(["t", "x"])) == operator_fingerprint(
+            MapOperator(["x", "t"])
+        )
+        assert operator_fingerprint(MapOperator(["t"])) != operator_fingerprint(
+            MapOperator(["x", "t"])
+        )
+
+    def test_aggregate_key_preserves_spec_order(self):
+        # Aggregation order fixes the output schema's field order.
+        a = operator_fingerprint(tuple_agg(3, 3, ("x:sum", "x:count")))
+        b = operator_fingerprint(tuple_agg(3, 3, ("x:count", "x:sum")))
+        assert a != b
+        assert operator_fingerprint(tuple_agg(3, 3)) == operator_fingerprint(
+            tuple_agg(3, 3)
+        )
+        assert operator_fingerprint(tuple_agg(3, 3)) != operator_fingerprint(
+            tuple_agg(3, 2)
+        )
+
+    def test_execution_path_is_part_of_the_key(self):
+        compiled = FilterOperator("x > 0", use_compiled=True)
+        interpreted = FilterOperator("x > 0", use_compiled=False)
+        assert operator_fingerprint(compiled) != operator_fingerprint(interpreted)
+
+    def test_unknown_operator_never_shares(self):
+        class AuditedFilter(FilterOperator):
+            pass
+
+        assert operator_fingerprint(AuditedFilter("x > 0")) is None
+
+
+class TestPlanSharing:
+    def engine(self):
+        engine = StreamEngine()
+        engine.register_input_stream("s", SCHEMA)
+        return engine
+
+    def rows(self, values):
+        return [
+            {"t": float(i), "x": float(v), "y": float(-v)}
+            for i, v in enumerate(values)
+        ]
+
+    def stats(self, engine):
+        (stats,) = engine.plan_stats().values()
+        return stats
+
+    def test_identical_prefixes_merge(self):
+        engine = self.engine()
+        for _ in range(3):
+            engine.register_query(
+                QueryGraph("s", [FilterOperator("x > 10"), MapOperator(["t", "x"])])
+            )
+        stats = self.stats(engine)
+        assert stats["nodes_created"] == 2  # one filter + one map, total
+        assert stats["nodes_shared"] == 4
+
+    def test_subsumed_filter_feeds_from_host(self):
+        engine = self.engine()
+        weak = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        strong = engine.register_query(
+            QueryGraph("s", [FilterOperator("x > 20 AND y < 5")])
+        )
+        assert self.stats(engine)["nodes_subsumed"] == 1
+        engine.push_batch("s", self.rows([5, 15, 25, -25]))
+        assert [t["x"] for t in engine.read(weak)] == [15.0, 25.0]
+        # y = -x, so x=25 has y=-25 < 5: only that row passes.
+        assert [t["x"] for t in engine.read(strong)] == [25.0]
+
+    def test_host_withdrawal_keeps_subsumed_child_correct(self):
+        engine = self.engine()
+        weak = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        strong = engine.register_query(QueryGraph("s", [FilterOperator("x > 20")]))
+        engine.withdraw(weak)
+        engine.push_batch("s", self.rows([15, 25]))
+        assert [t["x"] for t in engine.read(strong)] == [25.0]
+        # The host node survives (it feeds the child) even though its
+        # own query is gone...
+        assert self.stats(engine)["live_nodes"] == 2
+        # ...and is released once the child goes too.
+        engine.withdraw(strong)
+        assert self.stats(engine)["live_nodes"] == 0
+
+    def test_stateless_nodes_share_after_consuming(self):
+        engine = self.engine()
+        first = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        engine.push_batch("s", self.rows([5, 15]))
+        late = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        assert self.stats(engine)["nodes_created"] == 1
+        engine.push_batch("s", self.rows([25]))
+        assert [t["x"] for t in engine.read(first)] == [15.0, 25.0]
+        # The late query shares the touched filter node but must not
+        # see tuples pushed before it registered.
+        assert [t["x"] for t in engine.read(late)] == [25.0]
+
+    def test_touched_aggregate_clones_instead_of_sharing(self):
+        engine = self.engine()
+        first = engine.register_query(QueryGraph("s", [tuple_agg(3, 3)]))
+        engine.push_batch("s", self.rows([1, 2]))  # partial window buffered
+        late = engine.register_query(QueryGraph("s", [tuple_agg(3, 3)]))
+        # Sharing the half-full window would leak the first query's
+        # history into the late one: a fresh clone is required.
+        assert self.stats(engine)["nodes_created"] == 2
+        engine.push_batch("s", self.rows([3, 4, 5]))
+        assert [t["sumx"] for t in engine.read(first)] == [6.0]  # 1+2+3
+        assert [t["sumx"] for t in engine.read(late)] == [12.0]  # 3+4+5
+
+    def test_untouched_aggregate_shares(self):
+        engine = self.engine()
+        first = engine.register_query(QueryGraph("s", [tuple_agg(3, 3)]))
+        second = engine.register_query(QueryGraph("s", [tuple_agg(3, 3)]))
+        assert self.stats(engine)["nodes_created"] == 1
+        assert self.stats(engine)["nodes_shared"] == 1
+        engine.push_batch("s", self.rows([1, 2, 3]))
+        assert [t["sumx"] for t in engine.read(first)] == [6.0]
+        assert [t["sumx"] for t in engine.read(second)] == [6.0]
+
+    def test_divergent_tails_fan_out_off_shared_prefix(self):
+        engine = self.engine()
+        mapped = engine.register_query(
+            QueryGraph("s", [FilterOperator("x > 10"), MapOperator(["x"])])
+        )
+        aggregated = engine.register_query(
+            QueryGraph("s", [FilterOperator("x > 10"), tuple_agg(2, 2)])
+        )
+        stats = self.stats(engine)
+        assert stats["nodes_created"] == 3  # filter + map + aggregate
+        assert stats["nodes_shared"] == 1  # the second query's filter
+        engine.push_batch("s", self.rows([5, 20, 30]))
+        assert [t.values for t in engine.read(mapped)] == [(20.0,), (30.0,)]
+        assert [t["sumx"] for t in engine.read(aggregated)] == [50.0]
+
+    def test_mid_batch_registration_defers_the_inflight_batch(self):
+        """A query registered from a per-tuple listener mid-batch sees
+        nothing of the in-flight batch — exactly like the per-query
+        path, where the new batch listener is outside the dispatch
+        snapshot."""
+        results = {}
+        for shared in (True, False):
+            engine = StreamEngine(shared=shared)
+            engine.register_input_stream("s", SCHEMA)
+            source = engine.catalog.get("s")
+            box = {}
+
+            def register_on_marker(tup, engine=engine, box=box):
+                if tup["x"] == 99.0 and "handle" not in box:
+                    box["handle"] = engine.register_query(
+                        QueryGraph("s", [FilterOperator("x > 0")])
+                    )
+
+            source.add_listener(register_on_marker)
+            engine.push_batch("s", self.rows([1, 99, 3]))
+            engine.push_batch("s", self.rows([4, 5]))
+            results[shared] = [t["x"] for t in engine.read(box["handle"])]
+        assert results[True] == results[False] == [4.0, 5.0]
+
+    def test_per_query_engine_builds_no_plans(self):
+        engine = StreamEngine(shared=False)
+        engine.register_input_stream("s", SCHEMA)
+        engine.register_query(QueryGraph("s", [FilterOperator("x > 0")]))
+        assert engine.plan_stats() == {}
+
+    def test_reference_engine_is_unshared(self):
+        assert StreamEngine.reference().shared is False
+        # But an interpreted *shared* engine is constructible (the
+        # fingerprints carry use_compiled, so it must behave too).
+        engine = StreamEngine(compiled=False, shared=True)
+        engine.register_input_stream("s", SCHEMA)
+        h1 = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        h2 = engine.register_query(QueryGraph("s", [FilterOperator("x > 10")]))
+        engine.push_batch("s", self.rows([5, 15]))
+        assert self.stats(engine)["nodes_shared"] == 1
+        assert [t["x"] for t in engine.read(h1)] == [15.0]
+        assert [t["x"] for t in engine.read(h2)] == [15.0]

@@ -245,8 +245,107 @@ class StreamSQLFuzzer:
             remaining -= size
         return sizes
 
+    # -- shared-prefix families --------------------------------------------------
+
+    def shared_prefix_scripts(self, schema: Schema, variants: int) -> List[str]:
+        """*variants* scripts over *schema* sharing one WHERE clause.
+
+        Every script filters with the **same** condition text, then
+        diverges: passthrough, a random projection, or a window
+        aggregation with per-variant aggregate sets (some reusing one
+        family window shape).  ~25% of variants are exact duplicates of
+        an earlier script.  This is the workload the shared execution
+        plan exists for: the filter node must merge across all
+        variants, duplicates must merge whole chains.
+        """
+        rng = self.rng
+        condition = self.condition(schema)
+        field_list = ", ".join(f"{f.name} {f.dtype.value}" for f in schema)
+        family_window = (rng.randint(1, 5), rng.randint(1, 5),
+                        rng.choice(("TUPLES", "SECONDS")))
+        scripts: List[str] = []
+        for _ in range(variants):
+            if scripts and rng.random() < 0.25:
+                scripts.append(rng.choice(scripts))  # exact duplicate
+                continue
+            lines = [f"CREATE INPUT STREAM sensor ({field_list});"]
+            tail = rng.choice(("none", "map", "agg", "agg"))
+            if tail == "none":
+                lines.append("CREATE OUTPUT STREAM output;")
+                lines.append(
+                    f"SELECT * FROM sensor WHERE {condition} INTO output;"
+                )
+            elif tail == "map":
+                keep = [f.name for f in schema if rng.random() < 0.6]
+                if not keep:
+                    keep = [rng.choice([f.name for f in schema])]
+                lines.append("CREATE STREAM filtered;")
+                lines.append("CREATE OUTPUT STREAM output;")
+                lines.append(
+                    f"SELECT * FROM sensor WHERE {condition} INTO filtered;"
+                )
+                lines.append(
+                    f"SELECT {', '.join(keep)} FROM filtered INTO output;"
+                )
+            else:
+                if rng.random() < 0.6:
+                    size, step, unit = family_window
+                else:
+                    size, step, unit = (rng.randint(1, 5), rng.randint(1, 5),
+                                        rng.choice(("TUPLES", "SECONDS")))
+                numeric = [f.name for f in schema if f.is_numeric]
+                pairs = set()
+                for _ in range(rng.randint(1, 3)):
+                    if numeric and rng.random() < 0.8:
+                        pairs.add((rng.choice(NUMERIC_AGGS), rng.choice(numeric)))
+                    else:
+                        pairs.add((rng.choice(ANY_AGGS),
+                                   rng.choice([f.name for f in schema])))
+                items = [f"{fn}({attr})" for fn, attr in sorted(pairs)]
+                lines.append("CREATE STREAM filtered;")
+                lines.append(f"CREATE WINDOW w (SIZE {size} ADVANCE {step} {unit});")
+                lines.append("CREATE OUTPUT STREAM output;")
+                lines.append(
+                    f"SELECT * FROM sensor WHERE {condition} INTO filtered;"
+                )
+                lines.append(f"SELECT {', '.join(items)} FROM filtered[w] INTO output;")
+            scripts.append("\n".join(lines) + "\n")
+        return scripts
+
 
 # -- the differential check --------------------------------------------------------
+
+def assert_rows_match(out_schema, actual, expected, context: str) -> None:
+    """Tuple-for-tuple comparison under the repo's drift contract:
+    exact for ints/strings/bools and exact-state aggregates, tight
+    float tolerance otherwise, drifting tolerance for avg/sum/stdev."""
+    assert len(actual) == len(expected), context
+    # Aggregate output fields are named "{function}{attribute}", so
+    # the field name says which comparison contract applies.
+    drifting = tuple(
+        field.name.startswith(("avg", "sum", "stdev")) for field in out_schema
+    )
+    for row, (actual_tuple, expected_tuple) in enumerate(zip(actual, expected)):
+        for field, drifts, a, e in zip(
+            out_schema, drifting, actual_tuple.values, expected_tuple.values
+        ):
+            if isinstance(e, float):
+                rel, abso = (1e-6, 1e-4) if drifts else (1e-9, 1e-12)
+                if field.name.startswith("stdev") and e == 0.0:
+                    # Constant windows: the incremental state snaps
+                    # its variance to an exact zero (suffix-run
+                    # detection), so no drift allowance applies —
+                    # this is the ~8e-7-vs-0.0 case the first long
+                    # run caught, now pinned exact.
+                    rel, abso = (0.0, 0.0)
+                assert math.isclose(a, e, rel_tol=rel, abs_tol=abso), (
+                    f"{context}\nrow {row} field {field.name}: {a!r} != {e!r}"
+                )
+            else:
+                assert a == e, (
+                    f"{context}\nrow {row} field {field.name}: {a!r} != {e!r}"
+                )
+
 
 def run_differential(seed: int, n_queries: int, n_tuples: int) -> Tuple[int, int]:
     """Fuzz *n_queries* scripts at *seed*; returns (queries, outputs) counts."""
@@ -279,36 +378,95 @@ def run_differential(seed: int, n_queries: int, n_tuples: int) -> Tuple[int, int
         expected = reference.read(reference_handle)
         actual = compiled.read(compiled_handle)
         context = f"seed={seed} query={query_index}\n{script}"
-        assert len(actual) == len(expected), context
         out_schema = compiled.lookup(compiled_handle).output_schema
         assert out_schema == reference.lookup(reference_handle).output_schema
-        # Aggregate output fields are named "{function}{attribute}", so
-        # the field name says which comparison contract applies.
-        drifting = tuple(
-            field.name.startswith(("avg", "sum", "stdev")) for field in out_schema
-        )
-        for row, (actual_tuple, expected_tuple) in enumerate(zip(actual, expected)):
-            for field, drifts, a, e in zip(
-                out_schema, drifting, actual_tuple.values, expected_tuple.values
-            ):
-                if isinstance(e, float):
-                    rel, abso = (1e-6, 1e-4) if drifts else (1e-9, 1e-12)
-                    if field.name.startswith("stdev") and e == 0.0:
-                        # Constant windows: the incremental state snaps
-                        # its variance to an exact zero (suffix-run
-                        # detection), so no drift allowance applies —
-                        # this is the ~8e-7-vs-0.0 case the first long
-                        # run caught, now pinned exact.
-                        rel, abso = (0.0, 0.0)
-                    assert math.isclose(a, e, rel_tol=rel, abs_tol=abso), (
-                        f"{context}\nrow {row} field {field.name}: {a!r} != {e!r}"
-                    )
-                else:
-                    assert a == e, (
-                        f"{context}\nrow {row} field {field.name}: {a!r} != {e!r}"
-                    )
+        assert_rows_match(out_schema, actual, expected, context)
         total_outputs += len(expected)
     return n_queries, total_outputs
+
+
+def run_multiquery_differential(
+    seed: int, n_rounds: int, n_variants: int, n_tuples: int
+) -> Tuple[int, int]:
+    """Shared-prefix fan-out under churn: each round registers a family
+    of scripts sharing one WHERE prefix on a **single** engine pair —
+    the default (shared-plan) engine fed via random batch partitions
+    against the seed per-query interpreted engine fed tuple-at-a-time —
+    withdraws ~1/3 of the family at random batch boundaries, and
+    compares every query's full drained output.  After each round all
+    surviving queries withdraw and the shared plan must have released
+    every DAG node.  Returns (total shared-plan node merges, outputs).
+    """
+    rng = random.Random(seed)
+    fuzzer = StreamSQLFuzzer(rng)
+    total_outputs = 0
+    total_shared = 0
+    for round_index in range(n_rounds):
+        schema = fuzzer.schema()
+        scripts = fuzzer.shared_prefix_scripts(schema, n_variants)
+        records = fuzzer.records(schema, n_tuples)
+
+        shared = StreamEngine()
+        reference = StreamEngine.reference()
+        queries = []
+        for script in scripts:
+            shared_handle = shared.register_streamsql(script)
+            reference_handle = reference.register_streamsql(script)
+            queries.append(
+                {
+                    "script": script,
+                    "schema": shared.lookup(shared_handle).output_schema,
+                    "handles": (shared_handle, reference_handle),
+                    "subs": (
+                        shared.subscribe(shared_handle),
+                        reference.subscribe(reference_handle),
+                    ),
+                }
+            )
+
+        sizes = fuzzer.partitions(len(records))
+        withdraw_after: Dict[int, List[int]] = {}
+        for query_index in rng.sample(
+            range(len(queries)), k=max(1, len(queries) // 3)
+        ):
+            withdraw_after.setdefault(
+                rng.randint(0, len(sizes)), []
+            ).append(query_index)
+
+        cursor = 0
+        for batch_index, size in enumerate(sizes + [0]):
+            for query_index in withdraw_after.get(batch_index, ()):
+                for engine, handle in zip(
+                    (shared, reference), queries[query_index]["handles"]
+                ):
+                    engine.withdraw(handle)
+            batch = records[cursor:cursor + size]
+            cursor += size
+            shared.push_batch("sensor", batch)
+            for record in batch:
+                reference.push("sensor", record)
+
+        withdrawn = {qi for group in withdraw_after.values() for qi in group}
+        for query_index, query in enumerate(queries):
+            context = (
+                f"seed={seed} round={round_index} variant={query_index} "
+                f"withdrawn={query_index in withdrawn}\n{query['script']}"
+            )
+            actual = query["subs"][0].drain()
+            expected = query["subs"][1].drain()
+            assert_rows_match(query["schema"], actual, expected, context)
+            total_outputs += len(expected)
+
+        for query_index, query in enumerate(queries):
+            if query_index in withdrawn:
+                continue
+            for engine, handle in zip((shared, reference), query["handles"]):
+                engine.withdraw(handle)
+        (stats,) = shared.plan_stats().values()
+        assert stats["queries"] == 0, f"seed={seed} round={round_index}"
+        assert stats["live_nodes"] == 0, f"seed={seed} round={round_index}"
+        total_shared += stats["nodes_shared"]
+    return total_shared, total_outputs
 
 
 class TestStreamSQLFuzz:
@@ -321,6 +479,16 @@ class TestStreamSQLFuzz:
         # actually produce output tuples to compare.
         assert queries == 25
         assert outputs > 100
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_fuzz_multiquery_shared_matches_reference(self, seed):
+        shared_nodes, outputs = run_multiquery_differential(
+            seed, n_rounds=5, n_variants=6, n_tuples=60
+        )
+        assert outputs > 50
+        # The family generator must actually produce prefix sharing,
+        # or the differential is not testing the shared plan at all.
+        assert shared_nodes > 0
 
     def test_generator_emits_every_stage_shape(self):
         """The grammar must cover filters, maps, tuple AND time windows."""
@@ -355,3 +523,8 @@ class TestStreamSQLFuzzLong:
         seed = int(os.environ.get("FUZZ_SEED", random.SystemRandom().randint(0, 2**31)))
         print(f"FUZZ_SEED={seed} (set FUZZ_SEED to reproduce)")
         run_differential(seed, n_queries=200, n_tuples=400)
+
+    def test_fuzz_long_multiquery(self):
+        seed = int(os.environ.get("FUZZ_SEED", random.SystemRandom().randint(0, 2**31)))
+        print(f"FUZZ_SEED={seed} (set FUZZ_SEED to reproduce)")
+        run_multiquery_differential(seed, n_rounds=40, n_variants=12, n_tuples=200)
