@@ -1,0 +1,104 @@
+"""Closed-loop load-generation benchmark + regression gate.
+
+One fixed-seed self-served run of the harness (`repro.loadgen`):
+spawned worker processes pace mixed evaluate/ingest/churn traffic at a
+target QPS over pipelined loopback connections, warmup excluded.  The
+result — achieved-vs-target QPS, per-op percentiles, error/retry/
+timeout counters — lands in ``BENCH_loadgen.json`` and folds into
+``BENCH_trajectory.json`` via ``aggregate_bench.py``.
+
+The regression gate: the serving stack must *sustain* the target rate
+(attainment floor) and keep the evaluate tail bounded (p99 ceiling).
+A scheduling regression in the server, a backpressure bug, or a
+client-side pacing bug all surface here as a dropped attainment or a
+blown tail.  ``BENCH_SMOKE_RELAXED`` loosens both floors for shared
+CI runners; equivalence-style invariants (no errors, no timeouts)
+stay strict.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import print_header
+from repro.loadgen.config import LoadgenConfig
+from repro.loadgen.driver import run_loadgen
+
+DURATION = 6.0
+WARMUP = 1.0
+TARGET_QPS = 500.0
+SEED = 9_2012
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_loadgen.json"
+
+
+def loadgen_config() -> LoadgenConfig:
+    return LoadgenConfig(
+        duration=DURATION,
+        warmup=WARMUP,
+        target_qps=TARGET_QPS,
+        seed=SEED,
+        processes=2,
+        connections=2,
+        report_interval=60.0,  # quiet: percentile table printed once below
+        output=str(RESULTS_PATH),
+    )
+
+
+def test_loadgen_closed_loop(benchmark):
+    relaxed = bool(os.environ.get("BENCH_SMOKE_RELAXED"))
+    config = loadgen_config()
+
+    report = benchmark.pedantic(
+        lambda: run_loadgen(config), rounds=1, iterations=1
+    )
+
+    achieved = report["achieved"]
+    print_header(
+        f"Closed-loop loadgen — target {TARGET_QPS:.0f} qps over "
+        f"{config.processes} process(es) x {config.connections} "
+        f"connection(s), {config.measure_seconds:.0f}s measured"
+    )
+    print(report["table"])
+    print(
+        f"  achieved        : {achieved['qps']:>10.1f} qps "
+        f"({achieved['attainment']:.2f} of target)\n"
+        f"  errors/retries  : {sum(report['errors'].values()):>10d} / "
+        f"{report['retries']}\n"
+        f"  timeouts        : {report['timeouts']:>10d}"
+    )
+
+    # The artifact really landed and is the run we just measured.
+    on_disk = json.loads(RESULTS_PATH.read_text())
+    assert on_disk["achieved"]["measured_completions"] == (
+        achieved["measured_completions"]
+    )
+
+    # Regression gates.  Attainment: the stack kept up with the target
+    # rate (the closed loop makes shortfall honest — a lagging server
+    # lowers achieved QPS instead of building a hidden backlog).
+    attainment_floor = 0.5 if relaxed else 0.85
+    assert achieved["attainment"] >= attainment_floor, (
+        f"achieved {achieved['qps']:.1f} qps is "
+        f"{achieved['attainment']:.2f} of the {TARGET_QPS:.0f} target "
+        f"(floor {attainment_floor})"
+    )
+    # Tail: evaluate p99 at this (modest) rate stays interactive.  An
+    # idle host measures ~7 ms; 100 ms leaves room for a moderately
+    # loaded machine while still catching a genuine tail blow-up.
+    latency = report["latency_ms"]
+    assert latency.get("EvaluateOp", {}).get("count"), "no evaluate samples"
+    p99_ceiling_ms = 250.0 if relaxed else 100.0
+    assert latency["EvaluateOp"]["p99_ms"] <= p99_ceiling_ms, (
+        f"evaluate p99 {latency['EvaluateOp']['p99_ms']:.1f} ms exceeds "
+        f"{p99_ceiling_ms:.0f} ms"
+    )
+    for op, stats in latency.items():
+        assert (
+            stats["p50_ms"] <= stats["p90_ms"]
+            <= stats["p99_ms"] <= stats["max_ms"]
+        ), op
+    # Strict invariants: a healthy single-process server refuses
+    # nothing and never hangs the client past its deadline.
+    assert report["errors"] == {}
+    assert report["timeouts"] == 0

@@ -1,0 +1,106 @@
+"""CLI entry point: ``python -m repro.loadgen``.
+
+Self-serves a local :class:`AsyncDataServer` unless ``--host`` points
+at a running one, drives the seeded closed-loop workload, prints live
+per-op percentile tables, and writes the ``BENCH_loadgen.json``
+artifact.  Exits non-zero when the run produced no measured evaluate
+traffic — the smoke-gate contract CI's ``loadgen-smoke`` job relies
+on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.loadgen.config import LoadgenConfig, MixWeights
+from repro.loadgen.driver import run_loadgen
+
+
+def parse_args(argv) -> LoadgenConfig:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Closed-loop load generation against an AsyncDataServer.",
+    )
+    defaults = LoadgenConfig()
+    parser.add_argument("--duration", type=float, default=defaults.duration,
+                        help="run length in seconds, warmup included")
+    parser.add_argument("--warmup", type=float, default=defaults.warmup,
+                        help="leading seconds excluded from accounting")
+    parser.add_argument("--target-qps", type=float, default=defaults.target_qps,
+                        help="aggregate arrival rate across all connections")
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--processes", type=int, default=defaults.processes,
+                        help="worker processes")
+    parser.add_argument("--connections", type=int, default=defaults.connections,
+                        help="pipelined connections per worker")
+    parser.add_argument("--max-burst", type=int, default=defaults.max_burst,
+                        help="closed-loop admission cap per batch")
+    parser.add_argument("--timeout", type=float, default=defaults.timeout,
+                        help="per-batch client deadline in seconds")
+    parser.add_argument("--max-retries", type=int, default=defaults.max_retries)
+    parser.add_argument("--host", default=None,
+                        help="drive an existing server (default: self-serve)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port of the existing server (with --host)")
+    parser.add_argument("--mix", type=MixWeights.parse, default=defaults.mix,
+                        metavar="evaluate=0.78,ingest=0.08,...",
+                        help="op-mix weights (normalized)")
+    parser.add_argument("--streams", type=int, default=defaults.streams)
+    parser.add_argument("--subjects-per-stream", type=int,
+                        default=defaults.subjects_per_stream)
+    parser.add_argument("--zipf-alpha", type=float, default=defaults.zipf_alpha)
+    parser.add_argument("--report-interval", type=float,
+                        default=defaults.report_interval)
+    parser.add_argument("--output", default=defaults.output,
+                        help="artifact path (empty string skips writing)")
+    arguments = parser.parse_args(argv)
+    if arguments.host is not None and not arguments.port:
+        parser.error("--host requires --port")
+    return LoadgenConfig(
+        duration=arguments.duration,
+        warmup=arguments.warmup,
+        target_qps=arguments.target_qps,
+        seed=arguments.seed,
+        processes=arguments.processes,
+        connections=arguments.connections,
+        max_burst=arguments.max_burst,
+        timeout=arguments.timeout,
+        max_retries=arguments.max_retries,
+        host=arguments.host,
+        port=arguments.port,
+        mix=arguments.mix,
+        streams=arguments.streams,
+        subjects_per_stream=arguments.subjects_per_stream,
+        zipf_alpha=arguments.zipf_alpha,
+        report_interval=arguments.report_interval,
+        output=arguments.output or None,
+    ).validate()
+
+
+def main(argv=None) -> int:
+    config = parse_args(argv if argv is not None else sys.argv[1:])
+    target = (
+        f"{config.host}:{config.port}" if config.host else "self-served instance"
+    )
+    print(
+        f"loadgen: {config.processes} process(es) x {config.connections} "
+        f"connection(s) -> {target}, target {config.target_qps:.0f} qps "
+        f"for {config.duration:.0f}s (warmup {config.warmup:.0f}s), "
+        f"seed {config.seed}"
+    )
+    report = run_loadgen(config, live=True)
+    if config.output:
+        print(f"wrote {config.output}")
+    latency = report["latency_ms"]
+    if not latency.get("EvaluateOp", {}).get("count"):
+        print("FAIL: no measured evaluate traffic", file=sys.stderr)
+        return 1
+    if report["achieved"]["qps"] <= 0:
+        print("FAIL: achieved QPS is zero", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,8 @@ and ping).  Mutations are never auto-retried: a retryable refusal is
 surfaced for the caller to decide, and a timeout is ambiguous anyway.
 Backoff is exponential with full jitter, capped, and counted in
 :attr:`retries_performed` so tests can observe the policy engaging.
+The call's single deadline spans the whole retry loop — attempts *and*
+backoff sleeps — so retries can never multiply the caller's timeout.
 """
 
 from __future__ import annotations
@@ -111,10 +113,16 @@ class AsyncClient:
             reader, writer = await asyncio.open_connection(host, port)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
-            sock.setblocking(False)
-            await asyncio.get_running_loop().sock_connect(sock, (host, port))
-            reader, writer = await asyncio.open_connection(sock=sock)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+                sock.setblocking(False)
+                await asyncio.get_running_loop().sock_connect(sock, (host, port))
+                reader, writer = await asyncio.open_connection(sock=sock)
+            except BaseException:
+                # Until open_connection hands the socket to a transport,
+                # nothing else will ever close it.
+                sock.close()
+                raise
         return cls(reader, writer, **kwargs)
 
     async def __aenter__(self) -> "AsyncClient":
@@ -180,12 +188,18 @@ class AsyncClient:
         """Send one op and await its reply, with the retry policy.
 
         Retries (idempotent ops, retryable error replies only) resend
-        the op after an exponential full-jitter backoff; each attempt
-        gets its own per-call deadline.
+        the op after an exponential full-jitter backoff.  One overall
+        deadline — ``timeout`` (or the default) measured from entry —
+        bounds the *whole* loop, attempts and backoff sleeps included:
+        a call with ``timeout=T`` returns (or raises) within ~``T``,
+        never ``max_retries × T``.  When the budget runs out between
+        attempts, the last (retryable) error reply is surfaced rather
+        than sleeping past the deadline.
         """
+        deadline = self._deadline(timeout)
         attempt = 0
         while True:
-            reply = (await self.pipeline([op], timeout=timeout))[0]
+            reply = (await self._pipeline([op], deadline))[0]
             if not (
                 isinstance(reply, ErrorReply)
                 and reply.retryable
@@ -194,12 +208,19 @@ class AsyncClient:
             ):
                 return reply
             attempt += 1
-            self.retries_performed += 1
             cap = min(
                 self.retry_base_delay * (2 ** (attempt - 1)),
                 self.retry_max_delay,
             )
-            await asyncio.sleep(self._rng.uniform(0, cap))
+            delay = self._rng.uniform(0, cap)
+            if deadline is not None:
+                remaining = deadline - asyncio.get_running_loop().time()
+                if remaining <= delay:
+                    # Out of budget: the next attempt could not finish
+                    # inside the deadline anyway.
+                    return reply
+            self.retries_performed += 1
+            await asyncio.sleep(delay)
 
     async def pipeline(self, ops: Sequence, timeout: Optional[float] = None):
         """Ship every op, then read every reply (in order).
@@ -208,14 +229,36 @@ class AsyncClient:
         this level: a pipeline mixes op kinds, and partial resends
         would reorder the batch semantics callers rely on.
         """
+        return await self._pipeline(ops, self._deadline(timeout))
+
+    async def _pipeline(self, ops: Sequence, deadline: Optional[float]):
         self._check_usable()
-        deadline = self._deadline(timeout)
         seqs = [self.send_nowait(op) for op in ops]
         await self._bounded(self._writer.drain(), deadline)
         return [
             await self._bounded(self._read_reply(expected), deadline)
             for expected in seqs
         ]
+
+    async def pipeline_timed(self, ops: Sequence, timeout: Optional[float] = None):
+        """Like :meth:`pipeline`, but returns ``(reply, seconds)`` pairs.
+
+        Each op is timed from batch admission (the shared write) to its
+        own reply arriving — the client-observed latency a load
+        generator wants per op, queueing delay behind earlier replies
+        included.
+        """
+        self._check_usable()
+        deadline = self._deadline(timeout)
+        loop = asyncio.get_running_loop()
+        seqs = [self.send_nowait(op) for op in ops]
+        started = loop.time()
+        await self._bounded(self._writer.drain(), deadline)
+        timed = []
+        for expected in seqs:
+            reply = await self._bounded(self._read_reply(expected), deadline)
+            timed.append((reply, loop.time() - started))
+        return timed
 
     async def _read_reply(self, expected_seq: int):
         try:

@@ -30,6 +30,14 @@ class LatencyRecorder:
         with self._lock:
             self._samples.setdefault(op, []).append(seconds)
 
+    def record_many(self, op: str, seconds: Sequence[float]) -> None:
+        """Fold a batch of samples in under one lock acquisition (the
+        load-generation parent merges per-worker sample deltas)."""
+        if not seconds:
+            return
+        with self._lock:
+            self._samples.setdefault(op, []).extend(seconds)
+
     def count(self, op: Optional[str] = None) -> int:
         with self._lock:
             if op is not None:
@@ -47,8 +55,19 @@ class LatencyRecorder:
         return summarize(samples)
 
     def snapshot(self) -> Dict[str, DistributionSummary]:
-        """Summaries of every op seen so far."""
-        return {op: self.summary(op) for op in self.ops}
+        """Summaries of every op seen so far — one consistent instant.
+
+        All samples are copied under a *single* lock acquisition, so a
+        mid-run snapshot can never mix counts from different moments
+        (summarizing per op via :meth:`summary` would take the lock
+        once per op, letting a concurrent recorder slip samples in
+        between rows).  The summarizing itself runs outside the lock.
+        """
+        with self._lock:
+            samples = {
+                op: list(values) for op, values in sorted(self._samples.items())
+            }
+        return {op: summarize(values) for op, values in samples.items()}
 
     def to_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready percentiles in milliseconds (for ``BENCH_*.json``)."""

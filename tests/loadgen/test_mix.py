@@ -1,0 +1,126 @@
+"""Seeded-reproducibility and distribution pins for the op-mix
+generator — the property the harness's "two runs with the same seed
+generate identical op sequences" claim rests on."""
+
+import dataclasses
+
+from repro.loadgen.config import LoadgenConfig, MixWeights
+from repro.loadgen.mix import OpMixStream, ZipfSampler, derive_seed, op_kind
+from repro.serving.wire import EvaluateOp, IngestOp, LoadOp, RevokeOp, UpdateOp
+
+import random
+
+CONFIG = LoadgenConfig(seed=7, streams=3, subjects_per_stream=8)
+
+
+class TestReproducibility:
+    def test_same_seed_same_worker_same_connection_identical_sequence(self):
+        first = OpMixStream(CONFIG, worker_id=1, connection_id=2).take(500)
+        second = OpMixStream(CONFIG, worker_id=1, connection_id=2).take(500)
+        # Wire ops are frozen dataclasses: equality is field-by-field,
+        # XML payloads included.
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        base = OpMixStream(CONFIG, 0, 0).take(200)
+        other_seed = OpMixStream(
+            dataclasses.replace(CONFIG, seed=8), 0, 0
+        ).take(200)
+        assert base != other_seed
+
+    def test_different_connections_diverge(self):
+        assert (
+            OpMixStream(CONFIG, 0, 0).take(200)
+            != OpMixStream(CONFIG, 0, 1).take(200)
+        )
+        assert (
+            OpMixStream(CONFIG, 0, 0).take(200)
+            != OpMixStream(CONFIG, 1, 0).take(200)
+        )
+
+    def test_derive_seed_is_stable_and_order_sensitive(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+        assert derive_seed(7, 1, 2) != derive_seed(8, 1, 2)
+
+
+class TestMixShape:
+    def test_mix_covers_every_op_kind_with_positive_weight(self):
+        ops = OpMixStream(CONFIG, 0, 0).take(3000)
+        kinds = {op_kind(op) for op in ops}
+        assert kinds == {
+            "EvaluateOp", "IngestOp", "LoadOp", "UpdateOp", "RevokeOp",
+        }
+
+    def test_zero_weight_kinds_never_appear(self):
+        config = dataclasses.replace(
+            CONFIG, mix=MixWeights(evaluate=1.0, ingest=0.0, load=0.0,
+                                   update=0.0, revoke=0.0)
+        )
+        ops = OpMixStream(config, 0, 0).take(300)
+        assert all(isinstance(op, EvaluateOp) for op in ops)
+
+    def test_evaluate_fraction_tracks_the_weight(self):
+        ops = OpMixStream(CONFIG, 0, 0).take(5000)
+        evaluates = sum(isinstance(op, EvaluateOp) for op in ops)
+        weight = dict(CONFIG.mix.normalized())["evaluate"]
+        assert abs(evaluates / len(ops) - weight) < 0.05
+
+    def test_churn_is_self_priming_and_namespaced(self):
+        """Revoke/update before any load degrade to loads; every churn
+        policy id carries the (worker, connection) namespace."""
+        config = dataclasses.replace(
+            CONFIG, mix=MixWeights(evaluate=0.0, ingest=0.0, load=0.2,
+                                   update=0.4, revoke=0.4)
+        )
+        stream = OpMixStream(config, worker_id=3, connection_id=5)
+        ops = stream.take(400)
+        assert isinstance(ops[0], LoadOp)
+        live = set()
+        for op in ops:
+            if isinstance(op, LoadOp):
+                pass  # ids are inside the XML; tracked via RevokeOp below
+            elif isinstance(op, RevokeOp):
+                assert op.policy_id.startswith("churn:3:5:")
+                assert op.policy_id not in live  # never revoked twice
+                live.add(op.policy_id)
+            else:
+                assert isinstance(op, UpdateOp)
+
+
+class TestZipfSampler:
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(population=100, alpha=1.1)
+        rng = random.Random(3)
+        draws = [sampler.sample(rng) for _ in range(20_000)]
+        assert all(0 <= rank < 100 for rank in draws)
+        top = sum(1 for rank in draws if rank == 0)
+        bottom = sum(1 for rank in draws if rank == 99)
+        assert top > bottom * 5
+
+    def test_alpha_zero_is_uniform_ish(self):
+        sampler = ZipfSampler(population=10, alpha=0.0)
+        rng = random.Random(4)
+        draws = [sampler.sample(rng) for _ in range(10_000)]
+        for rank in range(10):
+            share = sum(1 for draw in draws if draw == rank) / len(draws)
+            assert 0.05 < share < 0.15
+
+
+class TestMixWeights:
+    def test_parse_round_trip(self):
+        mix = MixWeights.parse("evaluate=0.5,ingest=0.5")
+        normalized = dict(mix.normalized())
+        assert normalized == {"evaluate": 0.5, "ingest": 0.5}
+
+    def test_parse_rejects_unknown_kinds(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown op kind"):
+            MixWeights.parse("select=1.0")
+
+    def test_all_zero_mix_is_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MixWeights(0, 0, 0, 0, 0).normalized()

@@ -209,6 +209,131 @@ class TestRetryPolicy:
         asyncio.run(asyncio.wait_for(scenario(), TIMEOUT))
 
 
+class TestRetryDeadlineBudget:
+    """The whole retry loop — attempts *and* backoff sleeps — is
+    bounded by one overall deadline (ISSUE 9).  Pre-fix, every attempt
+    got a fresh per-call deadline, so ``timeout=T`` could block for
+    ~``max_retries × (T + backoff)``."""
+
+    def test_retry_loop_is_bounded_by_one_overall_deadline(self):
+        def reply_for(index, op):
+            return ErrorReply("ShardUnavailableError", "still down",
+                              retryable=True)
+
+        async def scenario():
+            server, port, _ = await start_scripted_server(reply_for)
+            try:
+                # Pre-fix budget: up to 1000 jittered sleeps of ≤ 0.2 s
+                # (~100 s expected).  Post-fix: the loop returns the
+                # last retryable error within ~timeout.
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port,
+                    max_retries=1000,
+                    retry_base_delay=0.2, retry_max_delay=0.2,
+                )
+                async with client:
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    reply = await client.call(PingOp(), timeout=0.5)
+                    elapsed = loop.time() - started
+                    assert isinstance(reply, ErrorReply) and reply.retryable
+                    assert elapsed < 2.0
+                    # The budget allowed real retries before expiring.
+                    assert client.retries_performed >= 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(asyncio.wait_for(scenario(), TIMEOUT))
+
+    def test_hang_after_retryable_error_times_out_at_the_call_deadline(self):
+        def reply_for(index, op):
+            if index == 0:
+                return ErrorReply("ShardUnavailableError", "mid-restart",
+                                  retryable=True)
+            return None  # the retry attempt hangs
+
+        async def scenario():
+            server, port, _ = await start_scripted_server(reply_for)
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port,
+                    max_retries=5, retry_base_delay=0.01, retry_max_delay=0.02,
+                )
+                async with client:
+                    loop = asyncio.get_running_loop()
+                    started = loop.time()
+                    with pytest.raises(ClientTimeoutError):
+                        await client.call(PingOp(), timeout=0.4)
+                    # The hung retry shares the original 0.4 s budget —
+                    # it does not get a fresh 0.4 s of its own.
+                    assert loop.time() - started < 1.5
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(asyncio.wait_for(scenario(), TIMEOUT))
+
+    def test_unbounded_calls_still_retry_without_a_deadline(self):
+        def reply_for(index, op):
+            if index < 2:
+                return ErrorReply("ShardUnavailableError", "mid-restart",
+                                  retryable=True)
+            return AckReply("ping")
+
+        async def scenario():
+            server, port, _ = await start_scripted_server(reply_for)
+            try:
+                client = await AsyncClient.connect(
+                    "127.0.0.1", port, timeout=None,
+                    max_retries=5, retry_base_delay=0.01, retry_max_delay=0.02,
+                )
+                async with client:
+                    reply = await client.call(PingOp())
+                    assert isinstance(reply, AckReply)
+                    assert client.retries_performed == 2
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(asyncio.wait_for(scenario(), TIMEOUT))
+
+
+class TestConnectCleanup:
+    def test_failed_rcvbuf_connect_closes_the_raw_socket(self, monkeypatch):
+        """The rcvbuf path creates the socket by hand; a failed
+        ``sock_connect`` must close it instead of leaking the fd
+        (ISSUE 9)."""
+        import socket as socket_module
+
+        created = []
+        real_socket = socket_module.socket
+
+        def tracking_socket(*args, **kwargs):
+            sock = real_socket(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        # Reserve a loopback port with no listener behind it.
+        probe = real_socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        monkeypatch.setattr(socket_module, "socket", tracking_socket)
+
+        async def scenario():
+            with pytest.raises(OSError):
+                await AsyncClient.connect("127.0.0.1", dead_port, rcvbuf=4096)
+
+        asyncio.run(asyncio.wait_for(scenario(), TIMEOUT))
+        # The event loop creates AF_UNIX self-pipe sockets through the
+        # same constructor; only the AF_INET one is the client's.
+        inet = [s for s in created if s.family == socket_module.AF_INET]
+        assert len(inet) == 1
+        assert inet[0].fileno() == -1, "raw socket leaked on failed connect"
+
+
 class TestServedShardUnavailable:
     def test_server_maps_shard_unavailable_to_retryable_wire_error(self):
         server = make_data_server(pdp_shards=4)

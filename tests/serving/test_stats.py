@@ -1,0 +1,94 @@
+"""Pins for :class:`repro.serving.stats.LatencyRecorder`.
+
+The snapshot-atomicity regression (ISSUE 9): ``snapshot()`` used to
+take the lock once per op (``ops`` + one ``summary()`` each), so a
+mid-run snapshot could mix counts from different instants — an op
+recorded *after* an earlier row was summarized still showed up in a
+later row.  The fix copies every op's samples under a single lock
+acquisition.
+"""
+
+import threading
+
+from repro.serving.stats import LatencyRecorder
+
+
+class CountingLock:
+    """A context-manager lock that counts acquisitions."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self._lock.acquire()
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc_info):
+        self._lock.release()
+
+
+class TestSnapshotAtomicity:
+    def test_snapshot_takes_the_lock_exactly_once(self):
+        recorder = LatencyRecorder()
+        for op in ("EvaluateOp", "IngestOp", "LoadOp", "RevokeOp"):
+            for i in range(5):
+                recorder.record(op, 0.001 * (i + 1))
+        lock = CountingLock()
+        recorder._lock = lock
+        recorder.snapshot()
+        # Pre-fix: 1 (ops) + one per op via summary() = 5 acquisitions.
+        assert lock.acquisitions == 1
+        lock.acquisitions = 0
+        recorder.to_dict()
+        assert lock.acquisitions == 1
+
+    def test_snapshot_is_consistent_under_a_concurrent_recorder(self):
+        """A writer always records op "a" strictly before op "b"; an
+        atomic snapshot can therefore never report more "b" samples
+        than "a" samples.  (The per-op-lock implementation summarized
+        "a" first, then let the writer complete pairs before "b" was
+        summarized — count_b > count_a was observable.)"""
+        recorder = LatencyRecorder()
+
+        def writer():
+            # Bounded: an open-ended writer would grow the sample lists
+            # by millions while each snapshot re-copies and re-sorts
+            # them — O(n^2) into gigabytes.
+            for _ in range(50_000):
+                recorder.record("a", 0.001)
+                recorder.record("b", 0.001)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            def check():
+                summaries = recorder.snapshot()
+                count_a = summaries["a"].count if "a" in summaries else 0
+                count_b = summaries["b"].count if "b" in summaries else 0
+                assert count_b <= count_a <= count_b + 1
+
+            while thread.is_alive():
+                check()
+        finally:
+            thread.join(timeout=30)
+        check()
+        assert recorder.snapshot()["a"].count == 50_000
+
+    def test_snapshot_matches_per_op_summaries_when_quiescent(self):
+        recorder = LatencyRecorder()
+        recorder.record("EvaluateOp", 0.002)
+        recorder.record_many("EvaluateOp", [0.004, 0.006])
+        recorder.record("IngestOp", 0.010)
+        summaries = recorder.snapshot()
+        assert set(summaries) == {"EvaluateOp", "IngestOp"}
+        assert summaries["EvaluateOp"] == recorder.summary("EvaluateOp")
+        assert summaries["EvaluateOp"].count == 3
+        assert summaries["IngestOp"] == recorder.summary("IngestOp")
+
+    def test_record_many_is_a_noop_on_empty_batches(self):
+        recorder = LatencyRecorder()
+        recorder.record_many("EvaluateOp", [])
+        assert recorder.count() == 0
+        assert recorder.snapshot() == {}
