@@ -32,6 +32,7 @@ from pathlib import Path
 from benchmarks.conftest import print_header
 from repro.core import stream_policy
 from repro.framework.network import SimulatedNetwork
+from repro.loadgen.mix import derive_seed
 from repro.framework.server import DataServer
 from repro.serving import AsyncClient, AsyncDataServer
 from repro.serving.wire import (
@@ -62,6 +63,12 @@ N_RECOVERY_CONNECTIONS = 4
 RECOVERY_OPS = 400                  # per connection
 RECOVERY_WARMUP = 300               # completed ops before the kill
 SEED = 4_1_2012
+# Distinct seed domains per workload phase; integer tags because
+# derive_seed mixes arithmetic parts (string hash() is salted per
+# process and would break cross-run reproducibility).
+SCRIPT_DOMAIN = 1
+PROBE_DOMAIN = 2
+RECOVERY_DOMAIN = 3
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_served_latency.json"
 
@@ -139,7 +146,7 @@ def ingest_op(rng: random.Random) -> IngestOp:
 
 def build_script(connection_id: int, length: int = OPS_PER_CONNECTION):
     """Seeded mixed script: ~77% evaluate, ~8% ingest, ~15% churn."""
-    rng = random.Random((SEED, connection_id).__hash__())
+    rng = random.Random(derive_seed(SEED, SCRIPT_DOMAIN, connection_id))
     churn_stream = stream_name(connection_id)
     ops = []
     churn_sequence = 0
@@ -215,7 +222,7 @@ async def drive_evaluates(front: AsyncDataServer, pipelined: bool):
     """The same evaluate stream, serial round-trips vs pipelined."""
     scripts = [
         [
-            evaluate_op(random.Random((SEED, "probe", cid, pipelined).__hash__()))
+            evaluate_op(random.Random(derive_seed(SEED, PROBE_DOMAIN, cid, int(pipelined))))
             for _ in range(N_PIPELINE_PROBE)
         ]
         for cid in range(N_CONNECTIONS)
@@ -267,7 +274,7 @@ async def run_recovery_benchmark():
             loop = asyncio.get_running_loop()
 
             async def driver(connection_id):
-                rng = random.Random((SEED, "recovery", connection_id).__hash__())
+                rng = random.Random(derive_seed(SEED, RECOVERY_DOMAIN, connection_id))
                 client = await AsyncClient.connect(
                     "127.0.0.1", front.port, **retry_kw
                 )

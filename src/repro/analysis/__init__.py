@@ -1,0 +1,28 @@
+"""Concurrency-aware static analysis for the repro codebase.
+
+Run ``python -m repro.analysis --check`` (with ``src`` on the path)
+to lint ``src/`` and ``benchmarks/``; see ``docs/static-analysis.md``
+for the rule catalog and the annotation / suppression syntax.
+"""
+
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.rules import build_default_rules
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "build_default_rules",
+    "iter_python_files",
+]

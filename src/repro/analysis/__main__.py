@@ -1,0 +1,63 @@
+"""CLI: ``python -m repro.analysis [--check] [--json FILE] [paths...]``.
+
+Prints the findings table; with ``--check`` exits non-zero when any
+unsuppressed finding remains (the CI gate).  ``--json`` writes the
+machine-readable artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.rules import build_default_rules
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="concurrency-aware static analysis over the codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to analyze (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any unsuppressed finding remains (CI gate)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the JSON findings artifact to FILE",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    rules = build_default_rules()
+    if args.rules:
+        wanted = {rule_id.strip() for rule_id in args.rules.split(",")}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            parser.error(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    report = analyze_paths(args.paths, rules)
+    print(report.table())
+    if args.json:
+        report.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.check and report.active:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""The rule engine for the concurrency-aware static-analysis suite.
+
+The analyzer is AST-based and deliberately self-contained (stdlib
+only): each rule receives a parsed :class:`ModuleContext` — source,
+AST, and the comment map the annotation/suppression syntax lives in —
+and yields :class:`Finding`\\ s.  The engine applies per-line
+suppressions and renders the findings table / JSON artifact the CLI
+and the CI gate consume.
+
+Annotation syntax (consumed by the guarded-by rule)::
+
+    self._pending = {}   # guarded by: self._pending_lock
+    self.read_pauses = 0 # guarded by: event-loop
+    self._buffer = []    # guarded by: owner
+
+Suppression syntax (consumed by the engine)::
+
+    q.put(item)  # analysis: allow[async-blocking] unbounded mp queue
+
+A suppression applies to findings on its own line, or — when written
+as a standalone comment line — to the line below.  A suppression with
+no written reason is itself a finding (``suppression-reason``): every
+silenced rule must say *why*.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "AnalysisReport",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"analysis:\s*allow\[([A-Za-z0-9_,\- ]+)\]\s*(.*)\s*$"
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``analysis: allow[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: Lines this suppression covers (its own, plus the next line when
+    #: it stands alone on a comment-only line).
+    covers: Tuple[int, ...] = ()
+
+
+class ModuleContext:
+    """A parsed module: source, AST, comments, and suppressions."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: line number → comment text (without the leading ``#``).
+        self.comments: Dict[int, str] = _extract_comments(source)
+        self.suppressions: List[Suppression] = _extract_suppressions(
+            self.comments, self.lines
+        )
+        #: line number → suppressions covering it.
+        self._by_line: Dict[int, List[Suppression]] = {}
+        for suppression in self.suppressions:
+            for covered in suppression.covers:
+                self._by_line.setdefault(covered, []).append(suppression)
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        for suppression in self._by_line.get(line, ()):
+            if rule in suppression.rules:
+                return suppression
+        return None
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+
+def _extract_comments(source: str) -> Dict[int, str]:
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except tokenize.TokenError:
+        pass  # a truncated final token loses trailing comments only
+    return comments
+
+
+def _extract_suppressions(
+    comments: Dict[int, str], lines: Sequence[str]
+) -> List[Suppression]:
+    suppressions = []
+    for line, text in comments.items():
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group(1).split(",") if rule.strip()
+        )
+        covers = [line]
+        source_line = lines[line - 1] if line - 1 < len(lines) else ""
+        if source_line.strip().startswith("#"):
+            covers.append(line + 1)  # standalone comment guards the next line
+        suppressions.append(
+            Suppression(line, rules, match.group(2).strip(), tuple(covers))
+        )
+    return suppressions
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Finding`\\ s (``path`` may be left
+    empty; the engine fills it in).  A rule may emit findings under
+    secondary ids; list them in :attr:`also_emits` so suppression
+    validation knows the full vocabulary.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    also_emits: Tuple[str, ...] = ()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def emitted_ids(self) -> Tuple[str, ...]:
+        return (self.rule_id,) + tuple(self.also_emits)
+
+
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    def __init__(self, rules: Sequence[Rule]):
+        self.rules = list(rules)
+        self.findings: List[Finding] = []
+        self.files_analyzed = 0
+        self.parse_errors: List[Tuple[str, str]] = []
+
+    @property
+    def active(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_analyzed": self.files_analyzed,
+            "rules": [
+                {"id": rule.rule_id, "description": rule.description}
+                for rule in self.rules
+            ],
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.active],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in self.parse_errors
+            ],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def table(self) -> str:
+        rows = [
+            (finding.rule, finding.location, finding.message)
+            for finding in self.active
+        ]
+        if not rows:
+            return (
+                f"no findings "
+                f"({self.files_analyzed} files, "
+                f"{len(self.suppressed)} suppressed)"
+            )
+        widths = [
+            max(len(row[column]) for row in rows + [("rule", "location", "")])
+            for column in (0, 1)
+        ]
+        lines = [f"{'rule':<{widths[0]}}  {'location':<{widths[1]}}  message"]
+        for rule, location, message in rows:
+            lines.append(f"{rule:<{widths[0]}}  {location:<{widths[1]}}  {message}")
+        lines.append(
+            f"{len(rows)} finding(s) in {self.files_analyzed} files "
+            f"({len(self.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths* (files pass through)."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in ("__pycache__", ".git")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _known_rule_ids(rules: Sequence[Rule]) -> Set[str]:
+    known: Set[str] = {"suppression-reason", "suppression-unknown-rule"}
+    for rule in rules:
+        known.update(rule.emitted_ids())
+    return known
+
+
+def _analyze_module(
+    module: ModuleContext, rules: Sequence[Rule], known_ids: Set[str]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            finding.path = module.path
+            findings.append(finding)
+    for suppression in module.suppressions:
+        if not suppression.reason:
+            findings.append(
+                Finding(
+                    "suppression-reason",
+                    module.path,
+                    suppression.line,
+                    "suppression without a written reason: every "
+                    "analysis: allow[...] must say why",
+                )
+            )
+        for rule_id in suppression.rules:
+            if rule_id not in known_ids:
+                findings.append(
+                    Finding(
+                        "suppression-unknown-rule",
+                        module.path,
+                        suppression.line,
+                        f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+    for finding in findings:
+        if finding.rule in ("suppression-reason", "suppression-unknown-rule"):
+            continue  # meta-findings cannot be silenced
+        suppression = module.suppression_for(finding.rule, finding.line)
+        if suppression is not None and suppression.reason:
+            finding.suppressed = True
+            finding.reason = suppression.reason
+    return findings
+
+
+def default_rules() -> List[Rule]:
+    from repro.analysis.rules import build_default_rules
+
+    return build_default_rules()
+
+
+def analyze_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> AnalysisReport:
+    """Run *rules* (default: the full suite) over every module under
+    *paths*; returns the combined report."""
+    if rules is None:
+        rules = default_rules()
+    report = AnalysisReport(rules)
+    known_ids = _known_rule_ids(rules)
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = ModuleContext(path, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            report.parse_errors.append((path, str(error)))
+            report.findings.append(
+                Finding("parse-error", path, 1, f"could not analyze: {error}")
+            )
+            continue
+        report.files_analyzed += 1
+        report.findings.extend(_analyze_module(module, rules, known_ids))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def analyze_source(
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+    filename: str = "<fixture>.py",
+) -> List[Finding]:
+    """Analyze one in-memory module (the fixture-test entry point)."""
+    if rules is None:
+        rules = default_rules()
+    module = ModuleContext(filename, source)
+    return _analyze_module(module, rules, _known_rule_ids(rules))

@@ -1,0 +1,31 @@
+"""The rule suite: one module per rule, assembled here."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.exceptions import ExceptionDisciplineRule
+from repro.analysis.rules.guards import GuardedByRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.seed_hygiene import SeedHygieneRule
+
+__all__ = [
+    "AsyncBlockingRule",
+    "ExceptionDisciplineRule",
+    "GuardedByRule",
+    "LockOrderRule",
+    "SeedHygieneRule",
+    "build_default_rules",
+]
+
+
+def build_default_rules() -> List[Rule]:
+    return [
+        GuardedByRule(),
+        LockOrderRule(),
+        AsyncBlockingRule(),
+        ExceptionDisciplineRule(),
+        SeedHygieneRule(),
+    ]

@@ -1,0 +1,171 @@
+"""The async-blocking lint.
+
+Flags calls that block the calling thread when they appear inside an
+``async def`` body without being shipped off the event loop: one slow
+handler stalls *every* connection the loop serves.  Checked patterns:
+
+- ``time.sleep`` (use ``await asyncio.sleep``);
+- blocking stdlib entry points (``socket.create_connection``,
+  ``subprocess.run``/``check_*``/``call``, ``os.system``/``popen``);
+- bare ``<lock>.acquire()`` / ``<semaphore>.acquire()`` — use
+  ``async with`` or an executor;
+- ``.get(...)`` / ``.put(...)`` on queue-shaped receivers (name
+  contains ``queue`` or is ``q``) that are *not* awaited — a plain
+  ``queue.Queue``/``multiprocessing.Queue`` round-trip blocks, while
+  ``await queue.get()`` on an ``asyncio.Queue`` is fine;
+- blocking socket methods (``recv``/``accept``/``sendall``, plus
+  ``connect`` on ``sock``-named receivers) not awaited;
+- ``.join(...)`` on thread/process/worker-named receivers;
+- builtin ``open(...)`` (synchronous file I/O).
+
+A call that is the direct operand of ``await`` is exempt (it returned
+an awaitable, so it is the loop-friendly variant), as is anything
+referenced — not called — inside a ``run_in_executor(...)`` argument
+list, which is precisely the sanctioned escape hatch.  Calls inside
+nested *synchronous* ``def``\\ s are not attributed to the enclosing
+coroutine (they run wherever the helper is invoked).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+BLOCKING_DOTTED = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "socket.create_connection": "use `loop.sock_connect` or an executor",
+    "subprocess.run": "use `asyncio.create_subprocess_exec`",
+    "subprocess.call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_output": "use `asyncio.create_subprocess_exec`",
+    "os.system": "use `asyncio.create_subprocess_shell`",
+    "os.popen": "use `asyncio.create_subprocess_shell`",
+}
+
+SOCKET_METHODS = frozenset({"recv", "recv_into", "accept", "sendall"})
+QUEUE_METHODS = frozenset({"get", "put"})
+JOIN_RECEIVERS = ("thread", "process", "worker")
+
+
+def _receiver_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except ValueError:  # pragma: no cover - unparse covers all exprs
+        return ""
+
+
+def _looks_like_queue(text: str) -> bool:
+    lowered = text.rsplit(".", 1)[-1].lower()
+    return "queue" in lowered or lowered == "q"
+
+
+def _looks_like_lock(text: str) -> bool:
+    lowered = text.rsplit(".", 1)[-1].lower()
+    return "lock" in lowered or "sem" in lowered
+
+
+class AsyncBlockingRule(Rule):
+    rule_id = "async-blocking"
+    description = (
+        "blocking calls (time.sleep, queue get/put, socket/file ops, "
+        "lock.acquire) reachable from async def bodies must be awaited "
+        "variants or shipped through run_in_executor"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings: List[Finding] = []
+                for statement in node.body:
+                    self._scan(statement, node.name, findings, awaited=False)
+                yield from findings
+
+    def _scan(
+        self, node: ast.AST, coroutine: str, findings: List[Finding],
+        awaited: bool,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run in their own context
+        if isinstance(node, ast.Await):
+            value = node.value
+            if isinstance(value, ast.Call):
+                # the awaited call itself is sanctioned; its arguments
+                # are evaluated synchronously and still checked.
+                for child in ast.iter_child_nodes(value):
+                    if child is not value.func:
+                        self._scan(child, coroutine, findings, awaited=False)
+                return
+            self._scan(value, coroutine, findings, awaited=False)
+            return
+        if isinstance(node, ast.Call) and not awaited:
+            finding = self._check_call(node, coroutine)
+            if finding is not None:
+                findings.append(finding)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, coroutine, findings, awaited=False)
+
+    def _check_call(
+        self, node: ast.Call, coroutine: str
+    ) -> "Finding | None":
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return self._finding(
+                    node, coroutine, "builtin open() blocks on file I/O",
+                    "wrap it in run_in_executor",
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = _receiver_text(func)
+        if dotted in BLOCKING_DOTTED:
+            return self._finding(
+                node, coroutine, f"{dotted}() blocks the event loop",
+                BLOCKING_DOTTED[dotted],
+            )
+        receiver = _receiver_text(func.value)
+        method = func.attr
+        if method == "acquire" and _looks_like_lock(receiver):
+            return self._finding(
+                node, coroutine,
+                f"bare {receiver}.acquire() blocks the event loop",
+                "use `async with`, a non-blocking acquire, or an executor",
+            )
+        if method in QUEUE_METHODS and _looks_like_queue(receiver):
+            return self._finding(
+                node, coroutine,
+                f"{receiver}.{method}() on a queue blocks unless awaited",
+                "await an asyncio.Queue, or use an executor for "
+                "thread/process queues",
+            )
+        if method in SOCKET_METHODS:
+            return self._finding(
+                node, coroutine,
+                f"{receiver}.{method}() is a blocking socket call",
+                "use the loop's sock_* coroutines or a transport",
+            )
+        if method == "connect" and "sock" in receiver.lower():
+            return self._finding(
+                node, coroutine,
+                f"{receiver}.connect() is a blocking socket call",
+                "use `await loop.sock_connect(...)`",
+            )
+        if method == "join" and any(
+            hint in receiver.lower() for hint in JOIN_RECEIVERS
+        ):
+            return self._finding(
+                node, coroutine,
+                f"{receiver}.join() blocks on another thread/process",
+                "wrap it in run_in_executor",
+            )
+        return None
+
+    def _finding(
+        self, node: ast.Call, coroutine: str, problem: str, fix: str
+    ) -> Finding:
+        return Finding(
+            "async-blocking", "", node.lineno,
+            f"in `async def {coroutine}`: {problem} — {fix}",
+        )

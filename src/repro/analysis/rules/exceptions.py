@@ -1,0 +1,145 @@
+"""The exception-discipline lint.
+
+Two findings:
+
+``except-silent``
+    A broad handler (``except Exception``, ``except BaseException``,
+    or a bare ``except:``) that silently swallows: it neither
+    re-raises, nor logs, nor counts (augmented assignment), nor uses
+    the bound exception object.  Silent broad swallows are how worker
+    deaths, torn-down queues and protocol bugs disappear — every one
+    must either handle the failure observably or carry a reasoned
+    suppression.
+
+``raise-untyped``
+    A ``raise SomeName(...)`` where ``SomeName`` is not a builtin
+    exception, not imported from :mod:`repro.errors` (the typed
+    hierarchy retryable errors must derive from), and not a class
+    defined in the module.  Raising ``Exception``/``BaseException``
+    directly is always flagged.  Dotted raises (``asyncio.TimeoutError``)
+    and dynamic raises (``raise self._error()``) are not checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+LOG_METHODS = frozenset({
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+})
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Every builtin exception type, by name (Exception/BaseException are
+#: excluded on purpose: raising them is the untyped case).
+BUILTIN_EXCEPTIONS: Set[str] = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+} - BROAD_NAMES
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for type_node in types:
+        if isinstance(type_node, ast.Name) and type_node.id in BROAD_NAMES:
+            return True
+    return False
+
+
+def _handler_is_observant(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises, logs, counts, or inspects the
+    bound exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True  # a counter (`self.failures += 1`)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in LOG_METHODS:
+                return True
+        if (
+            handler.name is not None
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+class ExceptionDisciplineRule(Rule):
+    rule_id = "except-silent"
+    description = (
+        "broad `except Exception` handlers must re-raise, log, count, or "
+        "use the exception; raised error classes must come from "
+        "repro.errors, builtins, or the module itself"
+    )
+    also_emits = ("raise-untyped",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        allowed = self._allowed_names(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _is_broad(node) and not _handler_is_observant(node):
+                    caught = (
+                        ast.unparse(node.type) if node.type is not None
+                        else "<bare except>"
+                    )
+                    yield Finding(
+                        "except-silent", "", node.lineno,
+                        f"broad `except {caught}` swallows silently — "
+                        f"re-raise, log, count, or suppress with a reason",
+                    )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                yield from self._check_raise(node, allowed)
+
+    def _allowed_names(self, module: ModuleContext) -> Set[str]:
+        allowed = set(BUILTIN_EXCEPTIONS)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module is not None and "errors" in node.module:
+                    allowed.update(
+                        alias.asname or alias.name for alias in node.names
+                    )
+            elif isinstance(node, ast.ClassDef):
+                allowed.add(node.name)
+        return allowed
+
+    def _check_raise(
+        self, node: ast.Raise, allowed: Set[str]
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        name_node = exc.func if isinstance(exc, ast.Call) else exc
+        if not isinstance(name_node, ast.Name):
+            return  # dotted or dynamic raise: out of scope
+        name = name_node.id
+        if not isinstance(exc, ast.Call) and name not in BROAD_NAMES:
+            # `raise stored_error` re-raises an instance built (and
+            # typed) elsewhere; only the construction site is checked.
+            return
+        if name in BROAD_NAMES:
+            yield Finding(
+                "raise-untyped", "", node.lineno,
+                f"raising bare {name} — use a typed class from "
+                f"repro.errors so callers can make retry decisions",
+            )
+        elif name not in allowed:
+            yield Finding(
+                "raise-untyped", "", node.lineno,
+                f"raising {name}, which is neither a builtin, imported "
+                f"from repro.errors, nor defined in this module — "
+                f"retryable errors must derive from the typed hierarchy",
+            )

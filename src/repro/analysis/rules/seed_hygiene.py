@@ -1,0 +1,114 @@
+"""The seed-hygiene lint.
+
+Reproducibility rules for randomness and hashing:
+
+``seed-random``
+    Calls to the module-level :mod:`random` samplers
+    (``random.random()``, ``random.choice(...)``, ...) share one
+    unseeded global generator — benchmark runs stop being
+    reproducible and parallel workers correlate.  Construct a
+    ``random.Random(derived_seed)`` instead (see
+    ``repro.loadgen.mix.derive_seed``).  ``random.Random()`` called
+    with *no* arguments is flagged for the same reason.
+
+``seed-hash``
+    The builtin ``hash()`` on most types is salted per process
+    (``PYTHONHASHSEED``): using it to derive seeds, shard keys, or
+    anything that crosses a process boundary silently diverges
+    between workers.  Flagged outside ``__hash__`` method bodies
+    (where delegating to ``hash()`` is the point); explicit
+    ``x.__hash__()`` calls are flagged everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+#: Samplers on the shared module-level generator.
+GLOBAL_SAMPLERS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes", "seed",
+})
+
+
+class SeedHygieneRule(Rule):
+    rule_id = "seed-random"
+    description = (
+        "no module-level random.* sampling (shared unseeded generator) "
+        "and no builtin hash() for cross-process values (per-process "
+        "salt); derive seeds explicitly"
+    )
+    also_emits = ("seed-hash",)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        random_aliases = self._random_aliases(module)
+        in_hash_method: List[bool] = [False]
+
+        def scan(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                in_hash_method.append(node.name == "__hash__")
+                for child in ast.iter_child_nodes(node):
+                    yield from scan(child)
+                in_hash_method.pop()
+                return
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    node, random_aliases, in_hash_method[-1]
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from scan(child)
+
+        yield from scan(module.tree)
+
+    def _random_aliases(self, module: ModuleContext) -> set:
+        """Names the stdlib ``random`` module is bound to here."""
+        aliases = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+        return aliases
+
+    def _check_call(
+        self, node: ast.Call, random_aliases: set, in_hash: bool
+    ) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in random_aliases
+        ):
+            if func.attr in GLOBAL_SAMPLERS:
+                yield Finding(
+                    "seed-random", "", node.lineno,
+                    f"module-level random.{func.attr}() uses the shared "
+                    f"unseeded generator — construct "
+                    f"random.Random(derive_seed(...)) instead",
+                )
+            elif func.attr == "Random" and not node.args and not node.keywords:
+                yield Finding(
+                    "seed-random", "", node.lineno,
+                    "random.Random() without a seed is not reproducible — "
+                    "pass a derived seed",
+                )
+        elif isinstance(func, ast.Name) and func.id == "hash":
+            if not in_hash:
+                yield Finding(
+                    "seed-hash", "", node.lineno,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED) — use a stable mixer "
+                    "(derive_seed / hashlib) for cross-process values",
+                )
+        elif isinstance(func, ast.Attribute) and func.attr == "__hash__":
+            yield Finding(
+                "seed-hash", "", node.lineno,
+                "explicit .__hash__() is salted per process — use a "
+                "stable mixer (derive_seed / hashlib) instead",
+            )

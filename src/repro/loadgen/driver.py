@@ -110,13 +110,13 @@ class ServedInstance:
 
     def __init__(self, config: LoadgenConfig):
         self.config = config
-        self.port: Optional[int] = None
-        self.front: Optional[AsyncDataServer] = None
-        self.error: Optional[BaseException] = None
-        self._ready = None
-        self._loop = None
-        self._stopped = None
-        self._thread = None
+        self.port: Optional[int] = None  # guarded by: owner
+        self.front: Optional[AsyncDataServer] = None  # guarded by: owner
+        self.error: Optional[BaseException] = None  # guarded by: owner
+        self._ready = None  # guarded by: owner
+        self._loop = None  # guarded by: owner
+        self._stopped = None  # guarded by: owner
+        self._thread = None  # guarded by: owner
 
     def __enter__(self) -> "ServedInstance":
         import threading
@@ -167,8 +167,8 @@ class _WorkerState:
     """Samples + counters shared by one worker's connection tasks."""
 
     def __init__(self) -> None:
-        self.samples: Dict[str, List[float]] = {}
-        self.counters = new_counters()
+        self.samples: Dict[str, List[float]] = {}  # guarded by: owner
+        self.counters = new_counters()  # guarded by: owner
 
     def record(self, op_name: str, seconds: float) -> None:
         self.samples.setdefault(op_name, []).append(seconds)
@@ -273,6 +273,7 @@ async def _report_ticks(
         await asyncio.sleep(config.report_interval)
         samples, counters = state.drain()
         if samples or any(counters[key] for key in COUNTER_KEYS):
+            # analysis: allow[async-blocking] mp.Queue.put hands off to the feeder thread; effectively non-blocking
             out_queue.put(("tick", worker_id, {"samples": samples,
                                                "counters": counters}))
 
@@ -303,6 +304,7 @@ async def _worker(config: LoadgenConfig, worker_id: int, host: str, port: int,
         except asyncio.CancelledError:
             pass
     samples, counters = state.drain()
+    # analysis: allow[async-blocking] mp.Queue.put hands off to the feeder thread; effectively non-blocking
     out_queue.put(("done", worker_id, {"samples": samples,
                                        "counters": counters}))
 

@@ -32,6 +32,7 @@ backoff sleeps — so retries can never multiply the caller's timeout.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 import socket
 from typing import List, Optional, Sequence, Union
@@ -55,6 +56,8 @@ from repro.serving.wire import (
 from repro.xacml.policy import Policy
 from repro.xacml.request import Request
 from repro.xacml.xml_io import policy_to_xml, request_to_xml
+
+logger = logging.getLogger(__name__)
 
 #: Ops that are safe to resend after a retryable server-side refusal:
 #: decide/ping have no server-side effects.  Mutations (load, update,
@@ -82,19 +85,20 @@ class AsyncClient:
     ):
         self._reader = reader
         self._writer = writer
-        self._seq = 0
+        self._seq = 0  # guarded by: event-loop
         self._timeout = timeout
         self.max_retries = max(0, max_retries)
         self.retry_base_delay = retry_base_delay
         self.retry_max_delay = retry_max_delay
-        self._rng = rng if rng is not None else random.Random()
+        # Jitter need not be reproducible; tests inject their own rng.
+        self._rng = rng if rng is not None else random.Random()  # analysis: allow[seed-random] retry jitter is deliberately unseeded; deterministic tests inject rng
         #: Set after a deadline miss: the positional reply protocol is
         #: off by one from here on, so the connection refuses further
         #: calls rather than mismatching replies.
-        self._desynced = False
+        self._desynced = False  # guarded by: event-loop
         #: Observability: retryable-error resends and deadline misses.
-        self.retries_performed = 0
-        self.timeouts = 0
+        self.retries_performed = 0  # guarded by: event-loop
+        self.timeouts = 0  # guarded by: event-loop
 
     @classmethod
     async def connect(
@@ -135,8 +139,8 @@ class AsyncClient:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except Exception:
-            pass
+        except Exception as error:
+            logger.debug("wait_closed during aclose: %s", error)
 
     # -- deadlines ---------------------------------------------------------------
 
@@ -180,6 +184,7 @@ class AsyncClient:
     def send_nowait(self, op) -> int:
         """Buffer one op without flushing; returns its sequence number."""
         seq = self._seq
+        # analysis: allow[guarded-by] sync helper invoked only from this client's coroutines, so still on the loop
         self._seq += 1
         self._writer.write(encode_message(seq, op))
         return seq

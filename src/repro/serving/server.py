@@ -43,6 +43,7 @@ Failure containment
 from __future__ import annotations
 
 import asyncio
+import logging
 import socket
 import time
 from typing import Optional, Set
@@ -70,6 +71,8 @@ from repro.serving.wire import (
 )
 from repro.xacml.response import Decision
 from repro.xacml.xml_io import parse_request_xml
+
+logger = logging.getLogger(__name__)
 
 _CLOSE = object()
 
@@ -109,13 +112,13 @@ class AsyncDataServer:
         self.sndbuf = sndbuf
         self.pool = pool
         self.stats = LatencyRecorder()
-        self.connections_total = 0
-        self.active_connections = 0
+        self.connections_total = 0  # guarded by: event-loop
+        self.active_connections = 0  # guarded by: event-loop
         #: Reader stalls: how often the pipeline queue or the in-flight
         #: semaphore made the reader wait (the backpressure signal).
-        self.read_pauses = 0
+        self.read_pauses = 0  # guarded by: event-loop
         #: Connections dropped for framing-level protocol violations.
-        self.protocol_errors = 0
+        self.protocol_errors = 0  # guarded by: event-loop
         self._in_flight = asyncio.Semaphore(max(1, max_in_flight))
         self._asyncio_server: Optional[asyncio.base_events.Server] = None
         self._connection_tasks: Set[asyncio.Task] = set()
@@ -208,14 +211,14 @@ class AsyncDataServer:
                     await queue.put(_CLOSE)
                     try:
                         await responder
-                    except Exception:
-                        pass
+                    except Exception as error:
+                        logger.debug("responder failed during drain: %s", error)
                 else:
                     responder.cancel()
                     try:
                         await responder
-                    except (asyncio.CancelledError, Exception):
-                        pass
+                    except (asyncio.CancelledError, Exception) as error:
+                        logger.debug("responder cancel teardown: %r", error)
                     # Permits of dropped (still-queued) items.
                     while not queue.empty():
                         if queue.get_nowait() is not _CLOSE:
@@ -223,8 +226,8 @@ class AsyncDataServer:
                 writer.close()
                 try:
                     await writer.wait_closed()
-                except Exception:
-                    pass
+                except Exception as error:
+                    logger.debug("wait_closed after teardown: %s", error)
             except asyncio.CancelledError:
                 # Cancelled mid-teardown (server shutdown): finish with
                 # the synchronous essentials and end cleanly.
@@ -272,7 +275,8 @@ class AsyncDataServer:
                         await writer.drain()
                     except asyncio.CancelledError:
                         raise
-                    except Exception:
+                    except Exception as error:
+                        logger.debug("reply write failed, connection broken: %s", error)
                         broken = True
                 if op_name is not None and not broken:
                     self.stats.record(op_name, time.perf_counter() - received)

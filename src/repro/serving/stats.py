@@ -23,7 +23,7 @@ class LatencyRecorder:
     """
 
     def __init__(self) -> None:
-        self._samples: Dict[str, List[float]] = {}
+        self._samples: Dict[str, List[float]] = {}  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def record(self, op: str, seconds: float) -> None:

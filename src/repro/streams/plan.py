@@ -306,15 +306,15 @@ class StreamPlan:
         self.compiled = compiled
         self.root = PlanNode(("source",), None, source.schema, None, None)
         #: Delivery order == global registration order.
-        self.queries: List[SharedQuery] = []
+        self.queries: List[SharedQuery] = []  # guarded by: owner
         #: Per-batch consumed prefix (id(batch) → (batch, count)) from
         #: mid-batch withdrawal flushes; the final dispatch pops it and
         #: processes only the remainder.  The batch reference pins the
         #: id against reuse.
-        self._consumed: Dict[int, Tuple[list, int]] = {}
-        self.nodes_created = 0
-        self.nodes_shared = 0
-        self.nodes_subsumed = 0
+        self._consumed: Dict[int, Tuple[list, int]] = {}  # guarded by: owner
+        self.nodes_created = 0  # guarded by: owner
+        self.nodes_shared = 0  # guarded by: owner
+        self.nodes_subsumed = 0  # guarded by: owner
         self._listener = self._on_batch
         source.add_batch_listener(self._listener)
 

@@ -75,13 +75,13 @@ class Stream:
         self.name = name
         self.schema = schema
         self.max_buffer = max_buffer
-        self._buffer: List[StreamTuple] = []
+        self._buffer: List[StreamTuple] = []  # guarded by: owner
         #: Index (in the unbounded logical stream) of ``_buffer[0]``.
-        self._base = 0
-        self._listeners: List[Callable[[StreamTuple], None]] = []
-        self._batch_listeners: List[BatchListener] = []
-        self._inflight: Optional[_InflightDispatch] = None
-        self._closed = False
+        self._base = 0  # guarded by: owner
+        self._listeners: List[Callable[[StreamTuple], None]] = []  # guarded by: owner
+        self._batch_listeners: List[BatchListener] = []  # guarded by: owner
+        self._inflight: Optional[_InflightDispatch] = None  # guarded by: owner
+        self._closed = False  # guarded by: owner
 
     @property
     def total_appended(self) -> int:
@@ -279,7 +279,7 @@ class StreamSubscription:
 
     def __init__(self, stream: Stream, position: int):
         self._stream = stream
-        self._position = position
+        self._position = position  # guarded by: owner
 
     @property
     def stream(self) -> Stream:

@@ -371,11 +371,11 @@ class InvalidationBus:
     """
 
     def __init__(self):
-        self._listeners: List[ChangeListener] = []
+        self._listeners: List[ChangeListener] = []  # guarded by: owner
         #: Logical events published (for monitoring and tests).
-        self.published = 0
+        self.published = 0  # guarded by: owner
         #: Listener invocations that raised (contained, see publish).
-        self.listener_failures = 0
+        self.listener_failures = 0  # guarded by: owner
 
     def add_listener(self, listener: ChangeListener) -> None:
         self._listeners.append(listener)
@@ -448,16 +448,16 @@ class ShardedPolicyStore:
         self.shards: List[PolicyStore] = [PolicyStore() for _ in range(n_shards)]
         self.bus = InvalidationBus()
         #: Logical view: id → policy, in load order (updates keep position).
-        self._policies: Dict[str, Policy] = {}
+        self._policies: Dict[str, Policy] = {}  # guarded by: self._mutation_lock
         #: policy id → shards holding a replica.
-        self._placement: Dict[str, FrozenSet[int]] = {}
+        self._placement: Dict[str, FrozenSet[int]] = {}  # guarded by: self._mutation_lock
         #: policy id → global load sequence (updates keep the original).
-        self._sequence: Dict[str, int] = {}
-        self._next_sequence = 0
+        self._sequence: Dict[str, int] = {}  # guarded by: self._mutation_lock
+        self._next_sequence = 0  # guarded by: self._mutation_lock
         #: Policies currently replicated to every shard (wildcard /
         #: non-indexable targets under the strategy) — a balance metric.
-        self.replicated = 0
-        self._shard_listeners: List[ShardListener] = []
+        self.replicated = 0  # guarded by: self._mutation_lock
+        self._shard_listeners: List[ShardListener] = []  # guarded by: owner
         self._mutation_lock = threading.Lock()
 
     # -- placement ---------------------------------------------------------------
@@ -711,15 +711,15 @@ class ScatterEvaluator:
         self.cache = DecisionCache(cache_size)
         self.enabled = cache_size > 0
         self._lock = threading.Lock()
-        self._inflight: Dict[tuple, _ScatterCall] = {}
+        self._inflight: Dict[tuple, _ScatterCall] = {}  # guarded by: self._lock
         #: Bumped on every bus event; stamps in-flight merges.
-        self._version = 0
+        self._version = 0  # guarded by: self._lock
         #: Gather+merge evaluations actually performed.
-        self.merges = 0
+        self.merges = 0  # guarded by: self._lock
         #: Waiters served by a concurrent leader's merge.
-        self.coalesced = 0
+        self.coalesced = 0  # guarded by: self._lock
         #: Waiters that re-evaluated because an invalidation overlapped.
-        self.retries = 0
+        self.retries = 0  # guarded by: self._lock
         if self.enabled:
             store.bus.add_listener(self._on_bus_event)
 
@@ -750,7 +750,8 @@ class ScatterEvaluator:
 
     def evaluate(self, request: Request) -> Response:
         if not self.enabled:
-            self.merges += 1
+            with self._lock:
+                self.merges += 1
             return decide(self.store.policies_for(request), request, self.combining)
         key = request.fingerprint()
         while True:
@@ -879,9 +880,9 @@ class ShardedPDP:
         self.scatter = ScatterEvaluator(self.store, combining, scatter_cache_size)
         self._counter_lock = threading.Lock()
         #: Requests answered by a single shard's PDP.
-        self.routed_evaluations = 0
+        self.routed_evaluations = 0  # guarded by: self._counter_lock
         #: Requests that had to gather candidates across shards.
-        self.scatter_evaluations = 0
+        self.scatter_evaluations = 0  # guarded by: self._counter_lock
 
     @property
     def n_shards(self) -> int:
@@ -1049,22 +1050,22 @@ class _ShardRuntime:
 
     def __init__(self, shard_id: int):
         self.shard_id = shard_id
-        self.process = None
-        self.commands = None
-        self.results = None
-        self.dispatcher: Optional[threading.Thread] = None
+        self.process = None  # guarded by: self.lock
+        self.commands = None  # guarded by: self.lock
+        self.results = None  # guarded by: self.lock
+        self.dispatcher: Optional[threading.Thread] = None  # guarded by: self.lock
         #: ``"up"`` | ``"down"`` | ``"restarting"`` | ``"degraded"``.
-        self.status = "up"
+        self.status = "up"  # guarded by: self.lock
         #: Completed (successful) restarts of this shard's worker.
-        self.restarts = 0
+        self.restarts = 0  # guarded by: self.lock
         #: Monotonic stamps of restart attempts inside the budget window.
-        self.restart_times: List[float] = []
+        self.restart_times: List[float] = []  # guarded by: self.lock
         #: Shard ops that arrived while not ``up``: ``(op, payload,
         #: sequence)`` in arrival order, replayed before readmission.
-        self.catchup: List[Tuple[str, object, Optional[int]]] = []
+        self.catchup: List[Tuple[str, object, Optional[int]]] = []  # guarded by: self.lock
         self.lock = threading.Lock()
-        self.last_error: Optional[str] = None
-        self.restart_thread: Optional[threading.Thread] = None
+        self.last_error: Optional[str] = None  # guarded by: self.lock
+        self.restart_thread: Optional[threading.Thread] = None  # guarded by: self.lock
 
 
 #: Zeroed per-shard cache stats, stood in for a shard that is down —
@@ -1152,30 +1153,30 @@ class ProcessShardPool:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         self.scatter = ScatterEvaluator(store, combining, scatter_cache_size)
-        self.routed_evaluations = 0
-        self.scatter_evaluations = 0
+        self.routed_evaluations = 0  # guarded by: self._counter_lock
+        self.scatter_evaluations = 0  # guarded by: self._counter_lock
         #: Requests answered by the parent-side fallback PDP while
         #: their shard was unavailable (counted into *routed* too, so
         #: ``evaluations == routed + scattered`` holds regardless).
-        self.fallback_evaluations = 0
+        self.fallback_evaluations = 0  # guarded by: self._counter_lock
         #: Chunks refused with ShardUnavailableError (``"error"`` mode).
-        self.unavailable_errors = 0
+        self.unavailable_errors = 0  # guarded by: self._counter_lock
         #: Successful supervised worker restarts, pool-wide.
-        self.worker_restarts = 0
+        self.worker_restarts = 0  # guarded by: self._counter_lock
         self._counter_lock = threading.Lock()
         #: Lazily-built cache-less fallback PDPs, one per shard.
-        self._fallbacks: Dict[int, PolicyDecisionPoint] = {}
+        self._fallbacks: Dict[int, PolicyDecisionPoint] = {}  # guarded by: self._fallback_lock
         self._fallback_lock = threading.Lock()
         #: Tag bookkeeping: commands in flight, keyed by their
         #: (driver_id, sequence) tag; guarded by ``_pending_lock``.
-        self._pending: Dict[Tuple[int, int], _PendingCall] = {}
+        self._pending: Dict[Tuple[int, int], _PendingCall] = {}  # guarded by: self._pending_lock
         self._pending_lock = threading.Lock()
         #: Per-thread driver identity (lazily assigned ids + sequence
         #: counters) — the "per-driver batch tags" of the protocol.
         self._local = threading.local()
-        self._driver_ids = 0
-        self._closed = False
-        self._stopping = False
+        self._driver_ids = 0  # guarded by: self._pending_lock
+        self._closed = False  # guarded by: self._pending_lock
+        self._stopping = False  # guarded by: self._pending_lock
         #: Set at close; interrupts any restart backoff sleep promptly.
         self._shutdown = threading.Event()
         self._runtimes = [
@@ -1209,7 +1210,7 @@ class ProcessShardPool:
             if self._closed:
                 return
             self._closed = True
-        self._stopping = True
+            self._stopping = True
         self._shutdown.set()
         self.store.remove_shard_listener(self._on_shard_op)
         self.scatter.detach()
@@ -1390,8 +1391,8 @@ class ProcessShardPool:
             try:
                 q.close()
                 q.cancel_join_thread()
-            except Exception:
-                pass
+            except Exception as error:
+                logger.debug("stale queue close failed: %s", error)
         try:
             self._launch(runtime, initial)
         except Exception as error:
@@ -1407,8 +1408,8 @@ class ProcessShardPool:
                 process = runtime.process
             try:
                 process.terminate()
-            except Exception:
-                pass
+            except Exception as error:
+                logger.debug("terminate after close race failed: %s", error)
             return
         # Catch-up replay: drain ops that arrived while down, then
         # readmit.  New ops may keep arriving (queued under the store
@@ -1458,8 +1459,11 @@ class ProcessShardPool:
                     process = runtime.process
                 try:
                     process.terminate()
-                except Exception:
-                    pass
+                except Exception as terminate_error:
+                    logger.debug(
+                        "terminate after catch-up failure failed: %s",
+                        terminate_error,
+                    )
                 break
         self._schedule_restart(runtime)
 
@@ -1475,8 +1479,8 @@ class ProcessShardPool:
         if process is not None:
             try:
                 process.terminate()
-            except Exception:
-                pass
+            except Exception as error:
+                logger.debug("kill_worker terminate failed: %s", error)
 
     def revive(self, shard_id: int) -> None:
         """Re-arm a degraded shard: reset its budget and restart it.

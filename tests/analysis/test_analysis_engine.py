@@ -1,0 +1,150 @@
+"""Engine behaviour: suppressions, meta-findings, report output, CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis import analyze_paths, analyze_source, build_default_rules
+from repro.analysis.__main__ import main as cli_main
+from repro.analysis.rules import SeedHygieneRule
+
+
+def findings_for(source, rules=None):
+    return analyze_source(textwrap.dedent(source), rules)
+
+
+class TestSuppressions:
+    def test_trailing_suppression_with_reason_silences(self):
+        findings = findings_for(
+            """
+            import random
+            x = random.random()  # analysis: allow[seed-random] fixture needs raw entropy
+            """,
+            [SeedHygieneRule()],
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].reason == "fixture needs raw entropy"
+
+    def test_standalone_comment_covers_next_line(self):
+        findings = findings_for(
+            """
+            import random
+            # analysis: allow[seed-random] fixture needs raw entropy
+            x = random.random()
+            """,
+            [SeedHygieneRule()],
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        findings = findings_for(
+            """
+            import random
+            x = random.random()  # analysis: allow[seed-random] only this one
+            y = random.random()
+            """,
+            [SeedHygieneRule()],
+        )
+        assert [f.suppressed for f in findings] == [True, False]
+
+    def test_suppression_without_reason_is_a_finding(self):
+        findings = findings_for(
+            """
+            import random
+            x = random.random()  # analysis: allow[seed-random]
+            """,
+            [SeedHygieneRule()],
+        )
+        rules = {f.rule for f in findings}
+        assert "suppression-reason" in rules
+        # and the original finding is NOT silenced by a reasonless allow
+        seed = [f for f in findings if f.rule == "seed-random"]
+        assert seed and not seed[0].suppressed
+
+    def test_suppression_naming_unknown_rule_is_a_finding(self):
+        findings = findings_for(
+            """
+            x = 1  # analysis: allow[no-such-rule] because reasons
+            """,
+            [SeedHygieneRule()],
+        )
+        assert any(f.rule == "suppression-unknown-rule" for f in findings)
+
+    def test_meta_findings_cannot_be_suppressed(self):
+        findings = findings_for(
+            """
+            # analysis: allow[suppression-unknown-rule] quiet the meta rule
+            x = 1  # analysis: allow[bogus-rule] reason text
+            """,
+            [SeedHygieneRule()],
+        )
+        meta = [f for f in findings if f.rule == "suppression-unknown-rule"]
+        assert meta and not any(f.suppressed for f in meta)
+
+    def test_one_comment_may_allow_multiple_rules(self):
+        findings = findings_for(
+            """
+            import random
+            h = hash(str(random.random()))  # analysis: allow[seed-random,seed-hash] fixture mixes both
+            """,
+            [SeedHygieneRule()],
+        )
+        assert findings and all(f.suppressed for f in findings)
+
+
+class TestReport(object):
+    def test_analyze_paths_report_and_json(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        report = analyze_paths([str(tmp_path)], [SeedHygieneRule()])
+        assert report.files_analyzed == 1
+        assert report.counts() == {"seed-random": 1}
+        artifact = tmp_path / "findings.json"
+        report.write_json(str(artifact))
+        payload = json.loads(artifact.read_text())
+        assert payload["counts"] == {"seed-random": 1}
+        assert payload["findings"][0]["rule"] == "seed-random"
+        assert "seed-random" in report.table()
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n")
+        report = analyze_paths([str(tmp_path)], [SeedHygieneRule()])
+        assert [f.rule for f in report.active] == ["parse-error"]
+
+    def test_default_rule_suite_is_complete(self):
+        ids = {rule.rule_id for rule in build_default_rules()}
+        assert ids == {
+            "guarded-by", "lock-order", "async-blocking",
+            "except-silent", "seed-random",
+        }
+
+
+class TestCli:
+    def test_check_exits_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert cli_main([str(bad), "--check"]) == 1
+        assert "seed-random" in capsys.readouterr().out
+
+    def test_check_exits_zero_when_clean(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert cli_main([str(good), "--check"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_artifact_written(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        artifact = tmp_path / "out.json"
+        assert cli_main([str(good), "--json", str(artifact)]) == 0
+        assert json.loads(artifact.read_text())["files_analyzed"] == 1
+
+    def test_rules_filter(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        # with only lock-order active the seed finding is not produced
+        assert cli_main([str(bad), "--check", "--rules", "lock-order"]) == 0
+        assert cli_main([str(bad), "--check", "--rules", "seed-random"]) == 1

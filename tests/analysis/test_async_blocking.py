@@ -1,0 +1,161 @@
+"""Async-blocking lint: blocking calls inside ``async def`` bodies."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.rules import AsyncBlockingRule
+
+
+def findings_for(source):
+    return analyze_source(textwrap.dedent(source), [AsyncBlockingRule()])
+
+
+class TestBlockingCalls:
+    def test_time_sleep_is_flagged(self):
+        findings = findings_for(
+            """
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_awaited_asyncio_sleep_passes(self):
+        assert not findings_for(
+            """
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """
+        )
+
+    def test_sleep_in_sync_function_passes(self):
+        assert not findings_for(
+            """
+            import time
+
+            def poll():
+                time.sleep(1)
+            """
+        )
+
+    def test_queue_get_is_flagged_awaited_get_is_not(self):
+        findings = findings_for(
+            """
+            async def bad(queue):
+                return queue.get()
+
+            async def good(queue):
+                return await queue.get()
+            """
+        )
+        assert len(findings) == 1
+        assert "bad" in findings[0].message
+
+    def test_queue_put_on_named_queue_is_flagged(self):
+        findings = findings_for(
+            """
+            async def report(out_queue, item):
+                out_queue.put(item)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_bare_lock_acquire_is_flagged(self):
+        findings = findings_for(
+            """
+            async def critical(self):
+                self._lock.acquire()
+            """
+        )
+        assert len(findings) == 1
+        assert "acquire" in findings[0].message
+
+    def test_builtin_open_is_flagged(self):
+        findings = findings_for(
+            """
+            async def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        )
+        assert len(findings) == 1
+        assert "open()" in findings[0].message
+
+    def test_socket_recv_and_thread_join_are_flagged(self):
+        findings = findings_for(
+            """
+            async def pump(sock, worker_thread):
+                data = sock.recv(4096)
+                worker_thread.join()
+                return data
+            """
+        )
+        assert len(findings) == 2
+
+    def test_subprocess_run_is_flagged(self):
+        findings = findings_for(
+            """
+            import subprocess
+
+            async def shell(cmd):
+                subprocess.run(cmd)
+            """
+        )
+        assert len(findings) == 1
+
+
+class TestExemptions:
+    def test_run_in_executor_reference_passes(self):
+        # the blocking callable is *referenced*, not called — the
+        # executor runs it off-loop, which is the sanctioned pattern.
+        assert not findings_for(
+            """
+            import time
+
+            async def handler(loop, queue):
+                await loop.run_in_executor(None, queue.get)
+                await loop.run_in_executor(None, time.sleep, 1)
+            """
+        )
+
+    def test_nested_sync_def_is_not_attributed_to_the_coroutine(self):
+        assert not findings_for(
+            """
+            import time
+
+            async def handler(loop):
+                def blocking_work():
+                    time.sleep(1)
+                await loop.run_in_executor(None, blocking_work)
+            """
+        )
+
+    def test_arguments_of_awaited_calls_are_still_checked(self):
+        findings = findings_for(
+            """
+            import time
+
+            async def handler(queue):
+                await queue.put(time.sleep(1))
+            """
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_suppression_with_reason_is_honoured(self):
+        findings = findings_for(
+            """
+            async def report(out_queue, item):
+                # analysis: allow[async-blocking] mp queue put hands off to the feeder thread
+                out_queue.put(item)
+            """
+        )
+        assert findings and all(f.suppressed for f in findings)

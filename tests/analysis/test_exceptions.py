@@ -1,0 +1,198 @@
+"""Exception-discipline lint: silent broad handlers and untyped raises."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.rules import ExceptionDisciplineRule
+
+
+def findings_for(source):
+    return analyze_source(
+        textwrap.dedent(source), [ExceptionDisciplineRule()]
+    )
+
+
+class TestSilentHandlers:
+    def test_silent_swallow_is_flagged(self):
+        findings = findings_for(
+            """
+            def teardown(q):
+                try:
+                    q.close()
+                except Exception:
+                    pass
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "except-silent"
+
+    def test_bare_except_is_flagged(self):
+        findings = findings_for(
+            """
+            def teardown(q):
+                try:
+                    q.close()
+                except:
+                    pass
+            """
+        )
+        assert len(findings) == 1
+
+    def test_broad_member_of_tuple_is_flagged(self):
+        findings = findings_for(
+            """
+            import asyncio
+
+            def teardown(q):
+                try:
+                    q.close()
+                except (asyncio.CancelledError, Exception):
+                    pass
+            """
+        )
+        assert len(findings) == 1
+
+    def test_logging_handler_passes(self):
+        assert not findings_for(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def teardown(q):
+                try:
+                    q.close()
+                except Exception as error:
+                    logger.debug("close failed: %s", error)
+            """
+        )
+
+    def test_reraising_handler_passes(self):
+        assert not findings_for(
+            """
+            def teardown(q):
+                try:
+                    q.close()
+                except Exception:
+                    raise
+            """
+        )
+
+    def test_counter_handler_passes(self):
+        assert not findings_for(
+            """
+            class Bus:
+                def publish(self, listener, event):
+                    try:
+                        listener(event)
+                    except Exception:
+                        self.listener_failures += 1
+            """
+        )
+
+    def test_handler_using_the_exception_passes(self):
+        assert not findings_for(
+            """
+            def probe(call):
+                try:
+                    return call()
+                except Exception as error:
+                    return str(error)
+            """
+        )
+
+    def test_narrow_handler_is_not_checked(self):
+        assert not findings_for(
+            """
+            def read(d, key):
+                try:
+                    return d[key]
+                except KeyError:
+                    pass
+            """
+        )
+
+    def test_suppression_with_reason_is_honoured(self):
+        findings = findings_for(
+            """
+            def teardown(q):
+                try:
+                    q.close()
+                except Exception:  # analysis: allow[except-silent] best-effort close on a dying queue
+                    pass
+            """
+        )
+        assert findings and all(f.suppressed for f in findings)
+
+
+class TestRaiseTyping:
+    def test_raising_bare_exception_is_flagged(self):
+        findings = findings_for(
+            """
+            def fail():
+                raise Exception("boom")
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "raise-untyped"
+
+    def test_unknown_name_is_flagged(self):
+        findings = findings_for(
+            """
+            def fail():
+                raise SomethingUndeclared("boom")
+            """
+        )
+        assert len(findings) == 1
+
+    def test_builtin_exception_passes(self):
+        assert not findings_for(
+            """
+            def fail():
+                raise ValueError("bad input")
+            """
+        )
+
+    def test_import_from_repro_errors_passes(self):
+        assert not findings_for(
+            """
+            from repro.errors import ShardUnavailableError
+
+            def fail():
+                raise ShardUnavailableError("shard 3 down", shard_id=3)
+            """
+        )
+
+    def test_locally_defined_class_passes(self):
+        assert not findings_for(
+            """
+            class LocalError(RuntimeError):
+                pass
+
+            def fail():
+                raise LocalError("boom")
+            """
+        )
+
+    def test_reraising_a_stored_instance_passes(self):
+        # `raise refusal` re-raises an instance constructed (and type
+        # checked) elsewhere — only construction sites are checked.
+        assert not findings_for(
+            """
+            def flush(refusal):
+                if refusal is not None:
+                    raise refusal
+            """
+        )
+
+    def test_dotted_raise_is_out_of_scope(self):
+        assert not findings_for(
+            """
+            import asyncio
+
+            def fail():
+                raise asyncio.TimeoutError()
+            """
+        )

@@ -1,0 +1,261 @@
+"""Guarded-by checker: lock, event-loop, and owner guard kinds."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source
+from repro.analysis.rules import GuardedByRule
+
+
+def findings_for(source):
+    return [
+        f for f in analyze_source(textwrap.dedent(source), [GuardedByRule()])
+        if f.rule in ("guarded-by", "guard-conflict")
+    ]
+
+
+# Shaped like ProcessShardPool: a pending map declared guarded by
+# `_pending_lock`, mutated once correctly and once bare.
+SHARDING_SHAPED = """
+import threading
+
+class Pool:
+    def __init__(self):
+        self._pending = {}  # guarded by: self._pending_lock
+        self._pending_lock = threading.Lock()
+
+    def submit(self, tag, call):
+        with self._pending_lock:
+            self._pending[tag] = call
+
+    def forget(self, tag):
+        self._pending.pop(tag, None)
+"""
+
+
+class TestLockGuard:
+    def test_unguarded_mutation_in_sharding_shaped_code(self):
+        findings = findings_for(SHARDING_SHAPED)
+        assert len(findings) == 1
+        assert findings[0].line == 14  # the bare .pop in forget()
+        assert "_pending_lock" in findings[0].message
+
+    def test_mutation_under_the_right_lock_passes(self):
+        assert not findings_for(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self.count = 0  # guarded by: self._lock
+                    self._lock = threading.Lock()
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+            """
+        )
+
+    def test_wrong_lock_is_flagged(self):
+        findings = findings_for(
+            """
+            class Pool:
+                def __init__(self):
+                    self.count = 0  # guarded by: self._lock
+
+                def bump(self):
+                    with self._other_lock:
+                        self.count += 1
+            """
+        )
+        assert len(findings) == 1
+
+    def test_receiver_matching_honours_another_objects_lock(self):
+        # a supervisor mutating runtime.status under runtime.lock, the
+        # _ShardRuntime pattern.
+        assert not findings_for(
+            """
+            class Runtime:
+                def __init__(self):
+                    self.status = "up"  # guarded by: self.lock
+
+            class Supervisor:
+                def mark_down(self, runtime):
+                    with runtime.lock:
+                        runtime.status = "down"
+            """
+        )
+
+    def test_receiver_matching_rejects_the_wrong_receivers_lock(self):
+        findings = findings_for(
+            """
+            class Runtime:
+                def __init__(self):
+                    self.status = "up"  # guarded by: self.lock
+
+            class Supervisor:
+                def mark_down(self, runtime):
+                    with self.lock:
+                        runtime.status = "down"
+            """
+        )
+        assert len(findings) == 1
+
+    def test_mutator_method_calls_are_mutations(self):
+        findings = findings_for(
+            """
+            class Pool:
+                def __init__(self):
+                    self._items = []  # guarded by: self._lock
+
+                def push(self, item):
+                    self._items.append(item)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_declaring_function_is_exempt(self):
+        # __init__ assigns without the lock held: construction precedes
+        # sharing, so the declaration site itself never flags.
+        assert not findings_for(
+            """
+            class Pool:
+                def __init__(self):
+                    self.count = 0  # guarded by: self._lock
+            """
+        )
+
+    def test_with_in_helper_false_positive_is_documented(self):
+        """KNOWN LIMITATION: the checker is lexical, not
+        interprocedural.  A helper that mutates while its caller holds
+        the lock IS flagged; such helpers need a reasoned suppression.
+        This test pins the behaviour so a future interprocedural pass
+        shows up as an intentional change."""
+        findings = findings_for(
+            """
+            class Pool:
+                def __init__(self):
+                    self.count = 0  # guarded by: self._lock
+
+                def bump(self):
+                    with self._lock:
+                        self._bump_locked()
+
+                def _bump_locked(self):
+                    self.count += 1
+            """
+        )
+        assert len(findings) == 1  # the helper body, despite being safe
+
+    def test_suppression_silences_the_helper(self):
+        findings = analyze_source(textwrap.dedent(
+            """
+            class Pool:
+                def __init__(self):
+                    self.count = 0  # guarded by: self._lock
+
+                def _bump_locked(self):
+                    # analysis: allow[guarded-by] caller holds self._lock
+                    self.count += 1
+            """
+        ), [GuardedByRule()])
+        guarded = [f for f in findings if f.rule == "guarded-by"]
+        assert guarded and all(f.suppressed for f in guarded)
+
+
+class TestEventLoopGuard:
+    def test_sync_mutation_flagged_async_mutation_allowed(self):
+        findings = findings_for(
+            """
+            class Server:
+                def __init__(self):
+                    self.read_pauses = 0  # guarded by: event-loop
+
+                async def handle(self):
+                    self.read_pauses += 1
+
+                def poke(self):
+                    self.read_pauses += 1
+            """
+        )
+        assert len(findings) == 1
+        assert "synchronous" in findings[0].message
+
+    def test_sync_helper_nested_in_async_counts_as_sync(self):
+        findings = findings_for(
+            """
+            class Server:
+                def __init__(self):
+                    self.count = 0  # guarded by: event-loop
+
+                async def handle(self):
+                    def callback():
+                        self.count += 1
+                    return callback
+            """
+        )
+        # the checker treats any enclosing async frame as on-loop: a
+        # callback defined inside a coroutine is assumed to be
+        # scheduled on that same loop.
+        assert findings == []
+
+
+class TestOwnerGuard:
+    def test_external_mutation_flagged(self):
+        findings = findings_for(
+            """
+            class Stream:
+                def __init__(self):
+                    self._buffer = []  # guarded by: owner
+
+                def push(self, item):
+                    self._buffer.append(item)
+
+            class Meddler:
+                def poke(self, stream):
+                    stream._buffer.append("x")
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 11
+
+    def test_module_level_mutation_is_exempt(self):
+        assert not findings_for(
+            """
+            class Stream:
+                def __init__(self):
+                    self._buffer = []  # guarded by: owner
+
+            s = Stream()
+            s._buffer = ["preloaded"]
+            """
+        )
+
+
+class TestDeclarations:
+    def test_conflicting_redeclaration_is_flagged(self):
+        findings = findings_for(
+            """
+            class A:
+                def __init__(self):
+                    self.x = 0  # guarded by: self._lock
+
+            class B:
+                def __init__(self):
+                    self.x = 0  # guarded by: owner
+            """
+        )
+        assert any(f.rule == "guard-conflict" for f in findings)
+
+    def test_unannotated_attributes_are_ignored(self):
+        assert not findings_for(
+            """
+            class Plain:
+                def __init__(self):
+                    self.x = 0
+
+                def bump(self):
+                    self.x += 1
+            """
+        )
